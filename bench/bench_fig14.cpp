@@ -1,0 +1,55 @@
+// Figure 14 reproduction: schedule performance (busbw) on the A100 testbed.
+//   (a) AllGather, 16 GPUs      (b) AllGather, 32 GPUs
+//   (c) ReduceScatter, 16 GPUs  (d) AlltoAll, 16 GPUs
+// Series: TECCL, NCCL, SyCCL over data sizes 1KB–4GB.
+#include <cstdio>
+
+#include "baselines/nccl.h"
+#include "baselines/teccl.h"
+#include "bench_util.h"
+#include "core/synthesizer.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+
+using namespace syccl;
+
+namespace {
+
+void run_panel(const char* title, int num_gpus, coll::CollKind kind) {
+  benchutil::header(title);
+  const topo::Topology topo = topo::build_a100_testbed(num_gpus);
+  const topo::TopologyGroups groups = topo::extract_groups(topo);
+  const sim::Simulator sim(groups);
+  core::Synthesizer synth(topo);
+  baselines::TecclOptions teccl_opts;
+  teccl_opts.time_budget_s = benchutil::teccl_budget(3.0);
+
+  std::printf("%-8s %12s %12s %12s %10s %10s\n", "size", "TECCL GB/s", "NCCL GB/s",
+              "SyCCL GB/s", "vs NCCL", "vs TECCL");
+  for (const auto size : benchutil::size_sweep()) {
+    coll::Collective c = kind == coll::CollKind::AllGather ? coll::make_allgather(num_gpus, size)
+                         : kind == coll::CollKind::ReduceScatter
+                             ? coll::make_reduce_scatter(num_gpus, size)
+                             : coll::make_alltoall(num_gpus, size);
+
+    const double t_nccl = sim.time_collective(baselines::nccl_schedule(c, groups), c);
+    const auto teccl = baselines::teccl_synthesize(c, groups, teccl_opts);
+    const double t_syccl = synth.synthesize(c).predicted_time;
+
+    std::printf("%-8s %12.1f %12.1f %12.1f %9.2fx %9.2fx\n",
+                benchutil::human_size(size).c_str(),
+                teccl.timed_out ? 0.0 : benchutil::gbps(c, teccl.predicted_time),
+                benchutil::gbps(c, t_nccl), benchutil::gbps(c, t_syccl), t_nccl / t_syccl,
+                teccl.timed_out ? 0.0 : teccl.predicted_time / t_syccl);
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_panel("Fig 14(a): AllGather, 16 A100", 16, coll::CollKind::AllGather);
+  run_panel("Fig 14(b): AllGather, 32 A100", 32, coll::CollKind::AllGather);
+  run_panel("Fig 14(c): ReduceScatter, 16 A100", 16, coll::CollKind::ReduceScatter);
+  run_panel("Fig 14(d): AlltoAll, 16 A100", 16, coll::CollKind::AllToAll);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 15 reproduction: schedule performance on the H800 cluster.
+//   (a) AllGather, 64 GPUs   (b) AllGather, 512 GPUs (TECCL times out)
+//   (c) AlltoAll, 64 GPUs
+#include <cstdio>
+
+#include "baselines/nccl.h"
+#include "baselines/teccl.h"
+#include "bench_util.h"
+#include "core/synthesizer.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+
+using namespace syccl;
+
+namespace {
+
+void run_panel(const char* title, int servers, coll::CollKind kind, bool with_teccl,
+               std::uint64_t max_size) {
+  benchutil::header(title);
+  const topo::Topology topo = topo::build_h800_cluster(servers);
+  const topo::TopologyGroups groups = topo::extract_groups(topo);
+  const int n = servers * 8;
+  // Large scale: coarser pipelining keeps the simulator O(seconds) per point.
+  sim::SimOptions sopts;
+  if (n >= 256) sopts.max_blocks = 2;
+  const sim::Simulator sim(groups, sopts);
+  core::SynthesisConfig cfg;
+  cfg.sim = sopts;
+  core::Synthesizer synth(topo, cfg);
+  baselines::TecclOptions teccl_opts;
+  teccl_opts.time_budget_s = benchutil::teccl_budget(5.0);
+
+  std::printf("%-8s %12s %12s %12s %10s\n", "size", "TECCL GB/s", "NCCL GB/s", "SyCCL GB/s",
+              "vs NCCL");
+  // Large scale costs minutes per point; sample the axis instead of the full
+  // sweep (the paper's crossover sits in the sampled range).
+  std::vector<std::uint64_t> sizes;
+  if (n >= 256) {
+    for (const std::uint64_t c : {std::uint64_t{1} << 20, std::uint64_t{16} << 20,
+                                  std::uint64_t{256} << 20, std::uint64_t{1} << 30}) {
+      if (c < max_size) sizes.push_back(c);
+    }
+    sizes.push_back(max_size);
+  } else {
+    sizes = benchutil::size_sweep(1024, max_size);
+  }
+  for (const auto size : sizes) {
+    coll::Collective c = kind == coll::CollKind::AllGather ? coll::make_allgather(n, size)
+                                                           : coll::make_alltoall(n, size);
+    const double t_nccl = sim.time_collective(baselines::nccl_schedule(c, groups), c);
+    double t_teccl = -1.0;
+    if (with_teccl) {
+      const auto teccl = baselines::teccl_synthesize(c, groups, teccl_opts);
+      if (!teccl.timed_out) t_teccl = teccl.predicted_time;
+    }
+    const double t_syccl = synth.synthesize(c).predicted_time;
+    std::printf("%-8s %12.1f %12.1f %12.1f %9.2fx\n", benchutil::human_size(size).c_str(),
+                t_teccl > 0 ? benchutil::gbps(c, t_teccl) : 0.0, benchutil::gbps(c, t_nccl),
+                benchutil::gbps(c, t_syccl), t_nccl / t_syccl);
+  }
+  if (!with_teccl) {
+    std::printf("(TECCL: timed out with no solution output — whole-collective model at this "
+                "scale, Table 5)\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t cap = benchutil::fast_mode() ? (256ull << 20) : (4ull << 30);
+  run_panel("Fig 15(a): AllGather, 64 H800", 8, coll::CollKind::AllGather, true, cap);
+  run_panel("Fig 15(b): AllGather, 512 H800", 64, coll::CollKind::AllGather, false,
+            benchutil::fast_mode() ? (64ull << 20) : (1ull << 30));
+  run_panel("Fig 15(c): AlltoAll, 64 H800", 8, coll::CollKind::AllToAll, true, cap);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 16 reproduction: synthesis time.
+//   (a) SyCCL vs TECCL synthesis time, AllGather on 16/32 A100, sizes 1KB–4GB
+//   (b) SyCCL synthesis-time breakdown (search/combine/solve1/solve2), 32 GPU
+//   (c) synthesis time vs number of parallel solver instances
+#include <cstdio>
+
+#include "baselines/teccl.h"
+#include "bench_util.h"
+#include "core/synthesizer.h"
+#include "topo/builders.h"
+#include "util/stopwatch.h"
+
+#include <thread>
+
+using namespace syccl;
+
+namespace {
+
+void panel_a() {
+  benchutil::header("Fig 16(a): synthesis time, SyCCL vs TECCL (AllGather)");
+  std::printf("%-8s %14s %14s %14s %14s\n", "size", "TECCL-16 (s)", "SyCCL-16 (s)",
+              "TECCL-32 (s)", "SyCCL-32 (s)");
+  const double budget = benchutil::teccl_budget(8.0);
+  for (const auto size : benchutil::size_sweep()) {
+    double row[4];
+    int col = 0;
+    for (int n : {16, 32}) {
+      const topo::Topology topo = topo::build_a100_testbed(n);
+      const topo::TopologyGroups groups = topo::extract_groups(topo);
+      const coll::Collective ag = coll::make_allgather(n, size);
+      baselines::TecclOptions topts;
+      topts.time_budget_s = budget;
+      const auto teccl = baselines::teccl_synthesize(ag, groups, topts);
+      row[col++] = teccl.synth_seconds;
+      core::Synthesizer synth(topo);
+      util::Stopwatch sw;
+      (void)synth.synthesize(ag);
+      row[col++] = sw.elapsed_seconds();
+    }
+    std::printf("%-8s %14.2f %14.3f %14.2f %14.3f\n", benchutil::human_size(size).c_str(),
+                row[0], row[1], row[2], row[3]);
+  }
+  std::printf("(TECCL runs under a %.0f s per-point solver budget standing in for the "
+              "paper's 10 h timeout)\n", budget);
+}
+
+void panel_b() {
+  benchutil::header("Fig 16(b): SyCCL synthesis-time breakdown, 32 A100");
+  const topo::Topology topo = topo::build_a100_testbed(32);
+  std::printf("%-12s %-8s %10s %10s %10s %10s %10s\n", "collective", "size", "search",
+              "combine", "solve1", "solve2", "total(s)");
+  for (const auto kind : {coll::CollKind::AllGather, coll::CollKind::AllToAll}) {
+    core::Synthesizer synth(topo);
+    for (const auto size : benchutil::size_sweep()) {
+      const coll::Collective c = kind == coll::CollKind::AllGather
+                                     ? coll::make_allgather(32, size)
+                                     : coll::make_alltoall(32, size);
+      const auto r = synth.synthesize(c);
+      std::printf("%-12s %-8s %10.3f %10.3f %10.3f %10.3f %10.3f\n", coll::kind_name(kind),
+                  benchutil::human_size(size).c_str(), r.breakdown.search_s,
+                  r.breakdown.combine_s, r.breakdown.solve1_s, r.breakdown.solve2_s,
+                  r.breakdown.total_s);
+    }
+  }
+}
+
+void panel_c() {
+  benchutil::header("Fig 16(c): synthesis time vs parallel solver instances (32 A100, AG)");
+  std::printf("(host exposes %u hardware thread(s); speedups saturate there — the paper's "
+              "192-core host scales to 192 instances)\n",
+              std::thread::hardware_concurrency());
+  const topo::Topology topo = topo::build_a100_testbed(32);
+  std::printf("%-10s", "threads");
+  for (const auto size : {std::uint64_t{1} << 20, std::uint64_t{16} << 20, std::uint64_t{1} << 30}) {
+    std::printf(" %11s", (benchutil::human_size(size) + " (s)").c_str());
+  }
+  std::printf("\n");
+  for (const int threads : {1, 2, 4, 8, 16}) {
+    core::SynthesisConfig cfg;
+    cfg.num_threads = threads;
+    core::Synthesizer synth(topo, cfg);
+    std::printf("%-10d", threads);
+    for (const auto size :
+         {std::uint64_t{1} << 20, std::uint64_t{16} << 20, std::uint64_t{1} << 30}) {
+      util::Stopwatch sw;
+      (void)synth.synthesize(coll::make_allgather(32, size));
+      std::printf(" %11.3f", sw.elapsed_seconds());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  panel_a();
+  panel_b();
+  panel_c();
+  return 0;
+}

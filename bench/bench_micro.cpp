@@ -1,0 +1,156 @@
+// Microbenchmarks (google-benchmark): throughput of the substrates under the
+// synthesizer — simulator, group extraction, sketch search, greedy and MILP
+// sub-demand solvers, LP simplex, schedule merging.
+#include <benchmark/benchmark.h>
+
+#include "coll/collective.h"
+#include "lp/simplex.h"
+#include "sim/schedule.h"
+#include "sim/simulator.h"
+#include "sketch/alltoall.h"
+#include "sketch/search.h"
+#include "solver/greedy.h"
+#include "solver/milp_scheduler.h"
+#include "solver/tau.h"
+#include "topo/builders.h"
+#include "topo/groups.h"
+
+namespace {
+
+using namespace syccl;
+
+sim::Schedule make_ring_schedule(const coll::Collective& ag) {
+  const int n = ag.num_ranks();
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(ag);
+  for (int step = 0; step < n - 1; ++step) {
+    for (int r = 0; r < n; ++r) {
+      const int piece = ((r - step) % n + n) % n;
+      s.add_op(piece, r, (r + 1) % n);
+    }
+  }
+  return s;
+}
+
+void BM_SimulatorRingAllGather(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  const auto topo = topo::build_h800_cluster(servers);
+  const auto groups = topo::extract_groups(topo);
+  const auto ag = coll::make_allgather(servers * 8, 1ull << 30);
+  const auto sched = make_ring_schedule(ag);
+  const sim::Simulator sim(groups);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(sched).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(sched.ops.size()));
+}
+BENCHMARK(BM_SimulatorRingAllGather)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_GroupExtraction(benchmark::State& state) {
+  const auto topo = topo::build_h800_cluster(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::extract_groups(topo).num_dims());
+  }
+}
+BENCHMARK(BM_GroupExtraction)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_SketchSearch(benchmark::State& state) {
+  const auto topo = topo::build_h800_cluster(static_cast<int>(state.range(0)));
+  const auto groups = topo::extract_groups(topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sketch::search_sketches(groups, 0, sketch::RootedPattern::Broadcast).size());
+  }
+}
+BENCHMARK(BM_SketchSearch)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_AllToAllReplication(benchmark::State& state) {
+  const auto topo = topo::build_h800_cluster(static_cast<int>(state.range(0)));
+  const auto groups = topo::extract_groups(topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sketch::generate_alltoall_combinations(groups, sketch::RootedPattern::Broadcast)
+            .size());
+  }
+}
+BENCHMARK(BM_AllToAllReplication)->Arg(2)->Arg(8);
+
+void BM_GreedySubDemand(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto topo = topo::build_single_server(n);
+  const auto groups = topo::extract_groups(topo);
+  const auto& gt = groups.dims[0].groups[0];
+  solver::SubDemand demand;
+  demand.group = &gt;
+  demand.piece_bytes = 1 << 20;
+  for (int r = 0; r < n; ++r) {
+    solver::DemandPiece p;
+    p.id = r;
+    p.srcs = {r};
+    for (int d = 0; d < n; ++d) {
+      if (d != r) p.dsts.push_back(d);
+    }
+    demand.pieces.push_back(std::move(p));
+  }
+  const auto ep = solver::derive_epoch_params(gt, demand.piece_bytes, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_greedy(demand, ep).num_epochs);
+  }
+}
+BENCHMARK(BM_GreedySubDemand)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_MilpSubDemandBroadcast(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto topo = topo::build_single_server(n);
+  const auto groups = topo::extract_groups(topo);
+  const auto& gt = groups.dims[0].groups[0];
+  solver::SubDemand demand;
+  demand.group = &gt;
+  demand.piece_bytes = 1 << 16;
+  solver::DemandPiece p;
+  p.id = 0;
+  p.srcs = {0};
+  for (int d = 1; d < n; ++d) p.dsts.push_back(d);
+  demand.pieces.push_back(std::move(p));
+  solver::MilpSchedulerOptions opts;
+  opts.time_limit_s = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_sub_demand(demand, opts).num_epochs);
+  }
+}
+BENCHMARK(BM_MilpSubDemandBroadcast)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_SimplexLp(benchmark::State& state) {
+  // A transportation LP scaled by the argument.
+  const int m = static_cast<int>(state.range(0));
+  lp::Problem p;
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(m),
+                                  std::vector<int>(static_cast<std::size_t>(m)));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          p.add_var(0, lp::kInf, 1.0 + ((i * 7 + j * 3) % 5));
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    lp::Constraint supply, demand;
+    for (int j = 0; j < m; ++j) {
+      supply.terms.push_back({x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
+      demand.terms.push_back({x[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)], 1.0});
+    }
+    supply.rel = lp::Relation::LessEq;
+    supply.rhs = 10.0 + i;
+    demand.rel = lp::Relation::GreaterEq;
+    demand.rhs = 5.0 + i % 3;
+    p.add_constraint(supply);
+    p.add_constraint(demand);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(p).objective);
+  }
+}
+BENCHMARK(BM_SimplexLp)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

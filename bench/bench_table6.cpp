@@ -1,0 +1,101 @@
+// Table 6 reproduction: end-to-end training iteration time (ms) for
+// GPT3-6.7B and Llama3-8B under DP16 / TP16 / TP32, with NCCL, TECCL and
+// SyCCL schedules on the A100 testbed.
+#include <cstdio>
+#include <map>
+
+#include "baselines/nccl.h"
+#include "baselines/teccl.h"
+#include "bench_util.h"
+#include "core/synthesizer.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+#include "training/iteration.h"
+
+using namespace syccl;
+
+namespace {
+
+struct Row {
+  const char* label;
+  training::ModelSpec model;
+  training::Parallelism mode;
+  int gpus;
+  std::uint64_t batch_tokens;
+};
+
+}  // namespace
+
+int main() {
+  benchutil::header("Table 6: training iteration time (ms)");
+
+  const std::vector<Row> rows = {
+      {"GPT3-6.7B, DP16", training::gpt3_6p7b(), training::Parallelism::DataParallel, 16, 40960},
+      {"GPT3-6.7B, TP16", training::gpt3_6p7b(), training::Parallelism::TensorParallel, 16, 8192},
+      {"GPT3-6.7B, TP32", training::gpt3_6p7b(), training::Parallelism::TensorParallel, 32,
+       16384},
+      {"Llama3-8B, DP16", training::llama3_8b(), training::Parallelism::DataParallel, 16, 65536},
+      {"Llama3-8B, TP16", training::llama3_8b(), training::Parallelism::TensorParallel, 16,
+       16384},
+      {"Llama3-8B, TP32", training::llama3_8b(), training::Parallelism::TensorParallel, 32,
+       65536},
+  };
+
+  std::printf("%-18s %10s %10s %10s %9s %9s\n", "Model", "NCCL", "TECCL", "SyCCL", "vs NCCL",
+              "vs TECCL");
+
+  const training::IterationModel model;
+  const double teccl_budget = benchutil::teccl_budget(4.0);
+
+  std::map<int, topo::Topology> topos;
+  for (const auto& row : rows) {
+    if (topos.find(row.gpus) == topos.end()) {
+      topos.emplace(row.gpus, topo::build_a100_testbed(row.gpus));
+    }
+  }
+
+  for (const auto& row : rows) {
+    const topo::Topology& topo = topos.at(row.gpus);
+    const topo::TopologyGroups groups = topo::extract_groups(topo);
+    const sim::Simulator sim(groups);
+    core::Synthesizer synth(topo);
+
+    training::TrainSetup setup;
+    setup.model = row.model;
+    setup.mode = row.mode;
+    setup.num_gpus = row.gpus;
+    setup.batch_tokens = row.batch_tokens;
+
+    // Memoise per-collective times (the trace repeats identical calls).
+    auto memo = [](auto fn) {
+      auto cache = std::make_shared<std::map<std::pair<int, std::uint64_t>, double>>();
+      return [fn, cache](const coll::Collective& c) {
+        const auto key = std::make_pair(static_cast<int>(c.kind()), c.total_bytes());
+        auto it = cache->find(key);
+        if (it == cache->end()) it = cache->emplace(key, fn(c)).first;
+        return it->second;
+      };
+    };
+
+    const double t_nccl = training::iteration_time(
+        setup, model, memo([&](const coll::Collective& c) {
+          return sim.time_collective(baselines::nccl_schedule(c, groups), c);
+        }));
+    const double t_teccl = training::iteration_time(
+        setup, model, memo([&](const coll::Collective& c) {
+          baselines::TecclOptions opts;
+          opts.time_budget_s = teccl_budget;
+          const auto r = baselines::teccl_synthesize(c, groups, opts);
+          return r.timed_out ? sim.time_collective(baselines::nccl_schedule(c, groups), c)
+                             : r.predicted_time;
+        }));
+    const double t_syccl = training::iteration_time(
+        setup, model,
+        memo([&](const coll::Collective& c) { return synth.synthesize(c).predicted_time; }));
+
+    std::printf("%-18s %10.1f %10.1f %10.1f %8.1f%% %8.1f%%\n", row.label, t_nccl * 1e3,
+                t_teccl * 1e3, t_syccl * 1e3, 100.0 * (t_nccl - t_syccl) / t_nccl,
+                100.0 * (t_teccl - t_syccl) / t_teccl);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Environment knobs:
+//   SYCCL_BENCH_FAST=1    — coarser size sweep and smaller TECCL budgets
+//                           (for smoke runs); default is the full sweep.
+//   SYCCL_TECCL_BUDGET=s  — per-point TECCL solver budget in seconds.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "coll/busbw.h"
+#include "coll/collective.h"
+
+namespace benchutil {
+
+/// Line-buffer stdout so long-running benches stream rows as they finish
+/// (printf to a pipe is block-buffered by default).
+struct LineBufferInit {
+  LineBufferInit() { std::setvbuf(stdout, nullptr, _IOLBF, 1 << 16); }
+};
+inline LineBufferInit line_buffer_init;
+
+inline bool fast_mode() {
+  const char* v = std::getenv("SYCCL_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline double teccl_budget(double dflt) {
+  const char* v = std::getenv("SYCCL_TECCL_BUDGET");
+  return v != nullptr ? std::atof(v) : (fast_mode() ? dflt / 2 : dflt);
+}
+
+/// The paper's x axis: 1KB … 4GB. Full sweep uses ×4 steps (11 points);
+/// fast mode ×16 (6 points).
+inline std::vector<std::uint64_t> size_sweep(std::uint64_t lo = 1024,
+                                             std::uint64_t hi = 4ull << 30) {
+  std::vector<std::uint64_t> out;
+  const std::uint64_t step = fast_mode() ? 16 : 4;
+  for (std::uint64_t s = lo; s <= hi; s *= step) out.push_back(s);
+  return out;
+}
+
+inline std::string human_size(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%lluG", static_cast<unsigned long long>(bytes >> 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%lluM", static_cast<unsigned long long>(bytes >> 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluK", static_cast<unsigned long long>(bytes >> 10));
+  }
+  return buf;
+}
+
+inline double gbps(const syccl::coll::Collective& coll, double seconds) {
+  return syccl::coll::busbw_GBps(coll, seconds);
+}
+
+inline void header(const char* title) {
+  std::printf("\n================ %s ================\n", title);
+}
+
+}  // namespace benchutil

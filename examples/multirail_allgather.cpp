@@ -1,0 +1,49 @@
+// Multi-rail AllGather sweep: the paper's motivating workload (§2.1).
+//
+// Sweeps data sizes on a rail-optimised H800 cluster and prints busbw for
+// SyCCL, NCCL's fixed ring and the best hand-crafted expert schedule — the
+// small-size latency win and the large-size bandwidth story of Fig. 15(a).
+#include <cstdio>
+#include <vector>
+
+#include "baselines/crafted.h"
+#include "baselines/nccl.h"
+#include "coll/busbw.h"
+#include "core/synthesizer.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace syccl;
+  const int servers = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  const topo::Topology cluster = topo::build_h800_cluster(servers);
+  const topo::TopologyGroups groups = topo::extract_groups(cluster);
+  const int n = servers * 8;
+  const sim::Simulator sim(groups);
+  core::Synthesizer synth(cluster);
+
+  std::printf("AllGather on %d H800 GPUs (%d servers)\n", n, servers);
+  std::printf("%-10s %12s %12s %12s %10s\n", "size", "NCCL GB/s", "crafted GB/s",
+              "SyCCL GB/s", "speedup");
+
+  for (const std::uint64_t size : {std::uint64_t{64} << 10, std::uint64_t{1} << 20,
+                                   std::uint64_t{16} << 20, std::uint64_t{256} << 20,
+                                   std::uint64_t{1} << 30}) {
+    const coll::Collective ag = coll::make_allgather(n, size);
+
+    const double t_nccl = sim.time_collective(baselines::nccl_ring_allgather(ag, groups), ag);
+
+    double t_crafted = 1e300;
+    for (auto& s : baselines::crafted_allgather_suite(ag, groups, true)) {
+      t_crafted = std::min(t_crafted, sim.time_collective(s, ag));
+    }
+
+    const double t_syccl = synth.synthesize(ag).predicted_time;
+
+    std::printf("%-10.0f %12.1f %12.1f %12.1f %9.2fx\n", static_cast<double>(size),
+                coll::busbw_GBps(ag, t_nccl), coll::busbw_GBps(ag, t_crafted),
+                coll::busbw_GBps(ag, t_syccl), t_nccl / t_syccl);
+  }
+  return 0;
+}

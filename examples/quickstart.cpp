@@ -1,0 +1,52 @@
+// Quickstart: synthesize a schedule with SyCCL, compare it against NCCL's
+// fixed ring on the same simulator, and export it to MSCCL-style XML.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+
+#include "baselines/nccl.h"
+#include "coll/busbw.h"
+#include "core/synthesizer.h"
+#include "runtime/xml.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+
+int main() {
+  using namespace syccl;
+
+  // 1. Describe the cluster: two H800-style servers (8 GPUs each, NVSwitch
+  //    inside, one 400G NIC per GPU, rail-optimised leaf switches).
+  const topo::Topology cluster = topo::build_h800_cluster(2);
+  const topo::TopologyGroups groups = topo::extract_groups(cluster);
+  std::printf("%s\n", cluster.summary().c_str());
+  for (int d = 0; d < groups.num_dims(); ++d) {
+    std::printf("  dimension %d (%s): %zu groups, bandwidth share %.2f\n", d,
+                groups.dims[d].link_kind.c_str(), groups.dims[d].groups.size(),
+                groups.dims[d].bandwidth_share);
+  }
+
+  // 2. Describe the collective: a 64 MB AllGather over all 16 GPUs.
+  const coll::Collective ag = coll::make_allgather(16, 64ull << 20);
+  std::printf("collective: %s\n", ag.describe().c_str());
+
+  // 3. Synthesize with SyCCL.
+  core::Synthesizer synth(cluster);
+  const core::SynthesisResult result = synth.synthesize(ag);
+  std::printf("SyCCL:  %.3f ms  (busbw %.1f GB/s), synthesized in %.2f s\n",
+              result.predicted_time * 1e3, coll::busbw_GBps(ag, result.predicted_time),
+              result.breakdown.total_s);
+  std::printf("  winning combination: %s\n", result.chosen.c_str());
+
+  // 4. Compare against NCCL's hierarchical ring on the same simulator.
+  const sim::Simulator simulator(groups);
+  const sim::Schedule ring = baselines::nccl_ring_allgather(ag, groups);
+  const double t_ring = simulator.time_collective(ring, ag);
+  std::printf("NCCL:   %.3f ms  (busbw %.1f GB/s) → SyCCL speedup %.2fx\n", t_ring * 1e3,
+              coll::busbw_GBps(ag, t_ring), t_ring / result.predicted_time);
+
+  // 5. Export the schedule as MSCCL-style XML (the executor artifact).
+  const std::string xml = runtime::to_xml(result.schedule, ag.num_ranks());
+  std::printf("exported XML: %zu bytes, first line: %.60s...\n", xml.size(), xml.c_str());
+  return 0;
+}

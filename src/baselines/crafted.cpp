@@ -1,0 +1,186 @@
+#include "baselines/crafted.h"
+
+#include <stdexcept>
+
+#include "baselines/nccl.h"
+
+namespace syccl::baselines {
+
+namespace {
+
+int check_ranks(const coll::Collective& coll, const topo::TopologyGroups& groups) {
+  const int n = coll.num_ranks();
+  if (n != static_cast<int>(groups.group_of.front().size())) {
+    throw std::invalid_argument("collective/topology rank mismatch");
+  }
+  return n;
+}
+
+}  // namespace
+
+sim::Schedule crafted_direct_allgather(const coll::Collective& coll,
+                                       const topo::TopologyGroups& groups) {
+  const int n = check_ranks(coll, groups);
+  sim::Schedule s;
+  s.name = "crafted-direct-allgather";
+  std::vector<int> piece(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    piece[static_cast<std::size_t>(r)] =
+        s.add_piece(sim::Piece{r, coll.chunk_bytes(), r, false, {}});
+  }
+  // Shifted issue order: at step k, rank r sends to r+k — receivers never
+  // see two simultaneous arrivals on one port.
+  for (int k = 1; k < n; ++k) {
+    for (int r = 0; r < n; ++r) {
+      s.add_op(piece[static_cast<std::size_t>(r)], r, (r + k) % n);
+    }
+  }
+  return s;
+}
+
+sim::Schedule crafted_hierarchical_allgather(const coll::Collective& coll,
+                                             const topo::TopologyGroups& groups) {
+  const int n = check_ranks(coll, groups);
+  if (groups.num_dims() < 2) {
+    // Single server: hierarchical degenerates to direct.
+    return crafted_direct_allgather(coll, groups);
+  }
+  sim::Schedule s;
+  s.name = "crafted-hierarchical-allgather";
+  std::vector<int> piece(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    piece[static_cast<std::size_t>(r)] =
+        s.add_piece(sim::Piece{r, coll.chunk_bytes(), r, false, {}});
+  }
+
+  // "Rail" groups: GPUs with the same local index across servers (the dim-1
+  // rails on multi-rail fabrics; counterpart sets on Clos).
+  const auto& servers = groups.dims[0].groups;
+  std::size_t max_locals = 0;
+  for (const auto& sv : servers) max_locals = std::max(max_locals, sv.ranks.size());
+  std::vector<std::vector<int>> rails(max_locals);
+  std::vector<int> rail_of(static_cast<std::size_t>(n), -1);
+  for (const auto& sv : servers) {
+    for (std::size_t i = 0; i < sv.ranks.size(); ++i) {
+      rails[i].push_back(sv.ranks[i]);
+      rail_of[static_cast<std::size_t>(sv.ranks[i])] = static_cast<int>(i);
+    }
+  }
+
+  // Stage 1: inter-server AllGather of the per-GPU chunk within each rail
+  // (shifted direct exchange; the per-GPU inter traffic is exactly one chunk
+  // to each rail peer — bandwidth-optimal on the network).
+  for (const auto& rail : rails) {
+    const int m = static_cast<int>(rail.size());
+    for (int k = 1; k < m; ++k) {
+      for (int i = 0; i < m; ++i) {
+        const int src = rail[static_cast<std::size_t>(i)];
+        const int dst = rail[static_cast<std::size_t>((i + k) % m)];
+        s.add_op(piece[static_cast<std::size_t>(src)], src, dst);
+      }
+    }
+  }
+  // Stage 2: intra-server fan-out — every GPU broadcasts everything it now
+  // holds (its rail's chunks) to its server mates over NVLink.
+  for (const auto& sv : servers) {
+    const int m = sv.size();
+    for (int k = 1; k < m; ++k) {
+      for (int i = 0; i < m; ++i) {
+        const int src = sv.ranks[static_cast<std::size_t>(i)];
+        const int dst = sv.ranks[static_cast<std::size_t>((i + k) % m)];
+        for (int c : rails[static_cast<std::size_t>(rail_of[static_cast<std::size_t>(src)])]) {
+          s.add_op(piece[static_cast<std::size_t>(c)], src, dst, 0);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+sim::Schedule crafted_improved_hierarchical_allgather(const coll::Collective& coll,
+                                                      const topo::TopologyGroups& groups) {
+  const int n = check_ranks(coll, groups);
+  if (groups.num_dims() < 2 || groups.dims[1].groups.size() < 2) {
+    throw std::invalid_argument("improved hierarchical needs a multi-rail topology");
+  }
+  sim::Schedule s;
+  s.name = "crafted-improved-hierarchical-allgather";
+  std::vector<int> piece(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    piece[static_cast<std::size_t>(r)] =
+        s.add_piece(sim::Piece{r, coll.chunk_bytes(), r, false, {}});
+  }
+
+  const auto& servers = groups.dims[0].groups;
+  const int per_server = servers.front().size();
+  if (per_server < 2) {
+    throw std::invalid_argument("improved hierarchical needs >= 2 GPUs per server");
+  }
+
+  // Stage 0: each chunk hops to one server-mate (its "buddy": local index
+  // xor 1), so two rails carry every chunk outward.
+  auto buddy = [&](int rank) {
+    const int server = groups.group_of[0][static_cast<std::size_t>(rank)];
+    const auto& gt = servers[static_cast<std::size_t>(server)];
+    const int local = gt.local_of(rank);
+    const int other = (local ^ 1) < gt.size() ? (local ^ 1) : (local + 1) % gt.size();
+    return gt.ranks[static_cast<std::size_t>(other)];
+  };
+  for (int r = 0; r < n; ++r) s.add_op(piece[static_cast<std::size_t>(r)], r, buddy(r), 0);
+
+  // Stage 1: the owner and the buddy each fan the chunk out along their own
+  // rail to every other server.
+  for (int r = 0; r < n; ++r) {
+    for (int holder : {r, buddy(r)}) {
+      const int rail = groups.group_of[1][static_cast<std::size_t>(holder)];
+      for (int peer : groups.dims[1].groups[static_cast<std::size_t>(rail)].ranks) {
+        if (groups.group_of[0][static_cast<std::size_t>(peer)] ==
+            groups.group_of[0][static_cast<std::size_t>(r)]) {
+          continue;  // own server already has it
+        }
+        s.add_op(piece[static_cast<std::size_t>(r)], holder, peer, 1);
+      }
+    }
+  }
+
+  // Stage 2: inside every server (the home server included — its six other
+  // GPUs still need the chunk), the two holders cover the other GPUs,
+  // split evenly between them.
+  for (int r = 0; r < n; ++r) {
+    const int rail_a = groups.group_of[1][static_cast<std::size_t>(r)];
+    const int rail_b = groups.group_of[1][static_cast<std::size_t>(buddy(r))];
+    for (std::size_t si = 0; si < servers.size(); ++si) {
+      const auto& server = servers[si];
+      int holder_a = -1, holder_b = -1;
+      for (int g : server.ranks) {
+        if (groups.group_of[1][static_cast<std::size_t>(g)] == rail_a) holder_a = g;
+        if (groups.group_of[1][static_cast<std::size_t>(g)] == rail_b) holder_b = g;
+      }
+      int toggle = 0;
+      for (int g : server.ranks) {
+        if (g == holder_a || g == holder_b) continue;
+        const int holder = (toggle++ % 2 == 0) ? holder_a : holder_b;
+        s.add_op(piece[static_cast<std::size_t>(r)], holder, g, 0);
+      }
+    }
+  }
+  return s;
+}
+
+std::vector<sim::Schedule> crafted_allgather_suite(const coll::Collective& coll,
+                                                   const topo::TopologyGroups& groups,
+                                                   bool include_improved) {
+  std::vector<sim::Schedule> out;
+  sim::Schedule ring = nccl_ring_allgather(coll, groups);
+  ring.name = "crafted-ring-allgather";
+  out.push_back(std::move(ring));
+  out.push_back(crafted_direct_allgather(coll, groups));
+  out.push_back(crafted_hierarchical_allgather(coll, groups));
+  if (include_improved && groups.num_dims() >= 2 && groups.dims[1].groups.size() > 1 &&
+      groups.dims[0].groups.front().size() >= 2) {
+    out.push_back(crafted_improved_hierarchical_allgather(coll, groups));
+  }
+  return out;
+}
+
+}  // namespace syccl::baselines

@@ -1,0 +1,41 @@
+// Expert hand-crafted schedules (paper Appendix C, Figs. 21–22).
+//
+// Three classic AllGather schedules plus the paper's "improved hierarchical"
+// variant that SyCCL's winning sketch inspired:
+//   ring         — multiple rotated rings covering all inter-machine links
+//   direct       — every GPU sends its chunk straight to every other GPU
+//   hierarchical — intra-server AllGather, then same-rail inter-server
+//                  AllGather (each rail peer relays its server's chunks)
+//   improved     — each chunk first hops to one server-mate, the two holders
+//                  fan out along their two rails, then three NVLink sends
+//                  per holder finish each server (matches the H800 testbed's
+//                  NVLink:rail bandwidth ratio)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coll/collective.h"
+#include "sim/schedule.h"
+#include "topo/groups.h"
+
+namespace syccl::baselines {
+
+sim::Schedule crafted_direct_allgather(const coll::Collective& coll,
+                                       const topo::TopologyGroups& groups);
+
+sim::Schedule crafted_hierarchical_allgather(const coll::Collective& coll,
+                                             const topo::TopologyGroups& groups);
+
+/// The Fig. 22 improved hierarchical schedule. Requires a multi-rail
+/// topology with ≥ 2 GPUs per server; throws otherwise.
+sim::Schedule crafted_improved_hierarchical_allgather(const coll::Collective& coll,
+                                                      const topo::TopologyGroups& groups);
+
+/// All applicable hand-crafted AllGather schedules for this topology (ring
+/// reuses the NCCL generator — the crafted ring differs only in tuning).
+std::vector<sim::Schedule> crafted_allgather_suite(const coll::Collective& coll,
+                                                   const topo::TopologyGroups& groups,
+                                                   bool include_improved);
+
+}  // namespace syccl::baselines

@@ -1,0 +1,244 @@
+#include "baselines/nccl.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace syccl::baselines {
+
+namespace {
+
+/// Server membership from dimension 0; falls back to one server.
+std::vector<std::vector<int>> servers_of(const topo::TopologyGroups& groups) {
+  std::vector<std::vector<int>> servers;
+  for (const auto& g : groups.dims.front().groups) servers.push_back(g.ranks);
+  return servers;
+}
+
+int num_ranks_of(const topo::TopologyGroups& groups) {
+  return static_cast<int>(groups.group_of.front().size());
+}
+
+/// NCCL saturates the fabric with one ring per server NIC.
+int default_channels(const topo::TopologyGroups& groups) {
+  if (groups.num_dims() < 2) return 2;
+  const auto& server0 = groups.dims[0].groups.front().ranks;
+  const auto& net_dim = groups.dims[1];
+  std::set<int> ports;
+  for (int r : server0) {
+    const int g = groups.group_of[1][static_cast<std::size_t>(r)];
+    if (g < 0) continue;
+    const auto& gt = net_dim.groups[static_cast<std::size_t>(g)];
+    ports.insert(gt.up[static_cast<std::size_t>(gt.local_of(r))].port_id);
+  }
+  return std::max(1, static_cast<int>(ports.size()));
+}
+
+/// The ring permutation for channel `c`: each server's GPUs chained starting
+/// at local index c·stride, servers concatenated (Fig. 2 generalised). The
+/// stride is GPUs-per-NIC so each channel's inter-server crossing exits and
+/// enters through a different NIC.
+std::vector<int> ring_order(const topo::TopologyGroups& groups, int c, int channels) {
+  std::vector<int> order;
+  for (const auto& server : servers_of(groups)) {
+    const int m = static_cast<int>(server.size());
+    const int stride = std::max(1, m / std::max(1, channels));
+    for (int j = 0; j < m; ++j) {
+      order.push_back(server[static_cast<std::size_t>((c * stride + j) % m)]);
+    }
+  }
+  return order;
+}
+
+/// Builds the forward ring AllGather ops for all channels.
+sim::Schedule ring_allgather_impl(const coll::Collective& coll,
+                                  const topo::TopologyGroups& groups, int channels) {
+  const int n = coll.num_ranks();
+  if (n != num_ranks_of(groups)) throw std::invalid_argument("collective/topology rank mismatch");
+  sim::Schedule s;
+  s.name = "nccl-ring-allgather";
+
+  // Piece (chunk r, channel c): 1/channels of rank r's contribution.
+  std::vector<std::vector<int>> piece_id(static_cast<std::size_t>(n),
+                                         std::vector<int>(static_cast<std::size_t>(channels)));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < channels; ++c) {
+      piece_id[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          s.add_piece(sim::Piece{r, coll.chunk_bytes() / channels, r, false, {}});
+    }
+  }
+
+  // Ops are issued step-major across channels: per-port execution is FIFO in
+  // issue order, so chronological interleaving is what lets the channels'
+  // rings run concurrently.
+  std::vector<std::vector<int>> orders;
+  for (int c = 0; c < channels; ++c) orders.push_back(ring_order(groups, c, channels));
+  for (int step = 0; step < n - 1; ++step) {
+    for (int c = 0; c < channels; ++c) {
+      const std::vector<int>& order = orders[static_cast<std::size_t>(c)];
+      for (int i = 0; i < n; ++i) {
+        const int src = order[static_cast<std::size_t>(i)];
+        const int dst = order[static_cast<std::size_t>((i + 1) % n)];
+        // At step t, position i forwards the chunk that originated at
+        // position (i - t) mod n.
+        const int origin_pos = ((i - step) % n + n) % n;
+        const int chunk = order[static_cast<std::size_t>(origin_pos)];
+        s.add_op(piece_id[static_cast<std::size_t>(chunk)][static_cast<std::size_t>(c)], src, dst);
+      }
+    }
+  }
+  return s;
+}
+
+/// Reverses a forward schedule into a reduction flow (see core/merge.cpp for
+/// the same transformation on synthesized schedules).
+sim::Schedule reverse_to_reduce(const sim::Schedule& forward, int num_ranks, std::string name) {
+  sim::Schedule out;
+  out.name = std::move(name);
+  std::vector<int> contributors(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) contributors[static_cast<std::size_t>(r)] = r;
+  for (const auto& p : forward.pieces) {
+    out.pieces.push_back(sim::Piece{p.origin, p.bytes, -1, true, contributors});
+  }
+  for (auto it = forward.ops.rbegin(); it != forward.ops.rend(); ++it) {
+    sim::TransferOp op = *it;
+    std::swap(op.src, op.dst);
+    out.ops.push_back(op);
+  }
+  return out;
+}
+
+}  // namespace
+
+sim::Schedule nccl_ring_allgather(const coll::Collective& coll,
+                                  const topo::TopologyGroups& groups, NcclOptions opts) {
+  const int channels = opts.channels > 0 ? opts.channels : default_channels(groups);
+  return ring_allgather_impl(coll, groups, channels);
+}
+
+sim::Schedule nccl_ring_reduce_scatter(const coll::Collective& coll,
+                                       const topo::TopologyGroups& groups, NcclOptions opts) {
+  const int channels = opts.channels > 0 ? opts.channels : default_channels(groups);
+  const coll::Collective twin = coll::make_allgather(coll.num_ranks(), coll.total_bytes());
+  const sim::Schedule forward = ring_allgather_impl(twin, groups, channels);
+  return reverse_to_reduce(forward, coll.num_ranks(), "nccl-ring-reducescatter");
+}
+
+sim::Schedule nccl_tree_broadcast(const coll::Collective& coll,
+                                  const topo::TopologyGroups& groups) {
+  const int n = coll.num_ranks();
+  if (n != num_ranks_of(groups)) throw std::invalid_argument("collective/topology rank mismatch");
+  const int root = coll.chunks().front().src;
+  sim::Schedule s;
+  s.name = "nccl-tree-broadcast";
+
+  // Double binary tree: each tree carries half the chunk. Tree 2 uses the
+  // reversed rank order so interior nodes of one tree are leaves of the
+  // other (NCCL's trick to balance send load).
+  int pieces[2];
+  std::vector<int> orders[2];
+  for (int tree = 0; tree < 2; ++tree) {
+    pieces[tree] = s.add_piece(sim::Piece{0, coll.chunk_bytes() / 2.0, root, false, {}});
+    // Order ranks with the root first, then ascending (or descending).
+    orders[tree].push_back(root);
+    for (int d = 1; d < n; ++d) {
+      orders[tree].push_back(tree == 0 ? (root + d) % n : (root - d + n) % n);
+    }
+  }
+  // Binary heap layout over `order`: node i has children 2i+1, 2i+2. Emit in
+  // node order, interleaving the trees, so per-port issue order stays
+  // chronological and the two trees overlap.
+  for (int i = 0; i < n; ++i) {
+    for (int child : {2 * i + 1, 2 * i + 2}) {
+      if (child >= n) continue;
+      for (int tree = 0; tree < 2; ++tree) {
+        s.add_op(pieces[tree], orders[tree][static_cast<std::size_t>(i)],
+                 orders[tree][static_cast<std::size_t>(child)]);
+      }
+    }
+  }
+  return s;
+}
+
+sim::Schedule nccl_alltoall(const coll::Collective& coll, const topo::TopologyGroups& groups,
+                            NcclOptions opts) {
+  const int n = coll.num_ranks();
+  if (n != num_ranks_of(groups)) throw std::invalid_argument("collective/topology rank mismatch");
+  sim::Schedule s;
+
+  // Piece per (src, dst) chunk, indexed positionally like make_alltoall.
+  std::vector<std::vector<int>> piece(static_cast<std::size_t>(n),
+                                      std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int c = 0; c < coll.num_chunks(); ++c) {
+    const auto& chunk = coll.chunks()[static_cast<std::size_t>(c)];
+    piece[static_cast<std::size_t>(chunk.src)][static_cast<std::size_t>(chunk.dsts.front())] =
+        s.add_piece(sim::Piece{c, coll.chunk_bytes(), chunk.src, false, {}});
+  }
+
+  const bool rail_topology = groups.num_dims() >= 3;
+  const bool use_pxn = opts.pxn && rail_topology;
+  s.name = use_pxn ? "nccl-pxn-alltoall" : "nccl-direct-alltoall";
+
+  const auto& server_dim = groups.group_of[0];
+  const auto& rail_dim = groups.num_dims() >= 2 ? groups.group_of[1] : groups.group_of[0];
+
+  for (int k = 1; k < n; ++k) {  // shifted order avoids receiver hot spots
+    for (int src = 0; src < n; ++src) {
+      const int dst = (src + k) % n;
+      const int p = piece[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+      if (p < 0) continue;
+      const bool same_server = server_dim[static_cast<std::size_t>(src)] ==
+                               server_dim[static_cast<std::size_t>(dst)];
+      const bool same_rail =
+          rail_dim[static_cast<std::size_t>(src)] == rail_dim[static_cast<std::size_t>(dst)];
+      if (use_pxn && !same_server && !same_rail) {
+        // PXN: relay over NVLink to the server-mate sharing dst's rail, then
+        // a same-rail network hop.
+        const auto& server =
+            groups.dims[0].groups[static_cast<std::size_t>(
+                server_dim[static_cast<std::size_t>(src)])];
+        int relay = -1;
+        for (int r : server.ranks) {
+          if (rail_dim[static_cast<std::size_t>(r)] == rail_dim[static_cast<std::size_t>(dst)]) {
+            relay = r;
+            break;
+          }
+        }
+        if (relay >= 0 && relay != src) {
+          s.add_op(p, src, relay, 0);
+          s.add_op(p, relay, dst, 1);
+          continue;
+        }
+      }
+      s.add_op(p, src, dst);
+    }
+  }
+  return s;
+}
+
+sim::Schedule nccl_ring_allreduce(const coll::Collective& coll,
+                                  const topo::TopologyGroups& groups, NcclOptions opts) {
+  sim::Schedule rs = nccl_ring_reduce_scatter(
+      coll::make_reduce_scatter(coll.num_ranks(), coll.total_bytes()), groups, opts);
+  const sim::Schedule ag = nccl_ring_allgather(
+      coll::make_allgather(coll.num_ranks(), coll.total_bytes()), groups, opts);
+  rs.append_sequential(ag);
+  rs.name = "nccl-ring-allreduce";
+  return rs;
+}
+
+sim::Schedule nccl_schedule(const coll::Collective& coll, const topo::TopologyGroups& groups,
+                            NcclOptions opts) {
+  switch (coll.kind()) {
+    case coll::CollKind::AllGather: return nccl_ring_allgather(coll, groups, opts);
+    case coll::CollKind::ReduceScatter: return nccl_ring_reduce_scatter(coll, groups, opts);
+    case coll::CollKind::Broadcast: return nccl_tree_broadcast(coll, groups);
+    case coll::CollKind::AllToAll: return nccl_alltoall(coll, groups, opts);
+    case coll::CollKind::AllReduce: return nccl_ring_allreduce(coll, groups, opts);
+    default:
+      throw std::invalid_argument("no NCCL baseline for this collective kind");
+  }
+}
+
+}  // namespace syccl::baselines

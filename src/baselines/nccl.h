@@ -1,0 +1,54 @@
+// NCCL-style fixed schedule generators (baseline, paper §2.1/§7).
+//
+// NCCL's algorithms are public: hierarchical rings (intra-server chains
+// linked across servers, Fig. 2), double binary trees, pairwise all-to-all
+// and PXN rail-aligned all-to-all. We generate those schedules explicitly
+// and evaluate them on the same simulator as SyCCL — the performance shape
+// (fixed 7:1 intra/inter ratio, |V|−1 ring hops) is a property of the
+// schedule, not of the NCCL binary.
+#pragma once
+
+#include "coll/collective.h"
+#include "sim/schedule.h"
+#include "topo/groups.h"
+
+namespace syccl::baselines {
+
+struct NcclOptions {
+  /// Number of parallel rings/channels. 0 = one ring per NIC of a server
+  /// (NCCL's default saturation strategy).
+  int channels = 0;
+  /// Use PXN (rail-aligned relay through NVLink) for AllToAll on multi-rail
+  /// topologies.
+  bool pxn = true;
+};
+
+/// Hierarchical ring AllGather (NCCL default): GPUs chained inside each
+/// server, chains linked across servers into rings; `channels` rotated rings
+/// share the load.
+sim::Schedule nccl_ring_allgather(const coll::Collective& coll,
+                                  const topo::TopologyGroups& groups, NcclOptions opts = {});
+
+/// Ring ReduceScatter (the reverse flow of the ring AllGather).
+sim::Schedule nccl_ring_reduce_scatter(const coll::Collective& coll,
+                                       const topo::TopologyGroups& groups, NcclOptions opts = {});
+
+/// Double binary tree Broadcast (NCCL's tree algorithm).
+sim::Schedule nccl_tree_broadcast(const coll::Collective& coll,
+                                  const topo::TopologyGroups& groups);
+
+/// AllToAll: direct pairwise sends, or PXN (gather onto the rail-aligned
+/// GPU over NVLink, then same-rail network send) when opts.pxn and the
+/// topology is multi-rail.
+sim::Schedule nccl_alltoall(const coll::Collective& coll, const topo::TopologyGroups& groups,
+                            NcclOptions opts = {});
+
+/// AllReduce = ring ReduceScatter + ring AllGather.
+sim::Schedule nccl_ring_allreduce(const coll::Collective& coll,
+                                  const topo::TopologyGroups& groups, NcclOptions opts = {});
+
+/// Dispatch by collective kind; throws for unsupported kinds.
+sim::Schedule nccl_schedule(const coll::Collective& coll, const topo::TopologyGroups& groups,
+                            NcclOptions opts = {});
+
+}  // namespace syccl::baselines

@@ -1,0 +1,306 @@
+#include "baselines/teccl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace syccl::baselines {
+
+namespace {
+
+struct PairParams {
+  int dim = -1;
+  double alpha = 0.0;
+  double beta = 0.0;
+  int up_port = -1;
+  int down_port = -1;
+};
+
+/// Whole-topology pair table: communication parameters for every (src, dst).
+struct PairTable {
+  int n = 0;
+  std::vector<PairParams> pairs;  // n*n
+
+  const PairParams& at(int s, int d) const {
+    return pairs[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(d)];
+  }
+};
+
+PairTable build_pair_table(const topo::TopologyGroups& groups) {
+  PairTable t;
+  t.n = static_cast<int>(groups.group_of.front().size());
+  t.pairs.resize(static_cast<std::size_t>(t.n) * static_cast<std::size_t>(t.n));
+  for (int s = 0; s < t.n; ++s) {
+    for (int d = 0; d < t.n; ++d) {
+      if (s == d) continue;
+      PairParams& p =
+          t.pairs[static_cast<std::size_t>(s) * static_cast<std::size_t>(t.n) +
+                  static_cast<std::size_t>(d)];
+      p.dim = groups.best_common_dim(s, d);
+      if (p.dim < 0) throw std::invalid_argument("disconnected GPU pair");
+      const auto& gt =
+          groups.group(p.dim, groups.group_of[static_cast<std::size_t>(p.dim)]
+                                             [static_cast<std::size_t>(s)]);
+      const int ls = gt.local_of(s);
+      const int ld = gt.local_of(d);
+      p.alpha = gt.pair_alpha(ls, ld);
+      p.beta = gt.pair_beta(ls, ld);
+      p.up_port = gt.up[static_cast<std::size_t>(ls)].port_id;
+      p.down_port = gt.down[static_cast<std::size_t>(ld)].port_id;
+    }
+  }
+  return t;
+}
+
+struct GlobalDemand {
+  struct Piece {
+    int chunk = -1;
+    int origin = -1;
+    double bytes = 0.0;
+    std::vector<int> dsts;
+  };
+  std::vector<Piece> pieces;
+};
+
+GlobalDemand forward_demand(const coll::Collective& coll, int split) {
+  GlobalDemand gd;
+  for (int c = 0; c < coll.num_chunks(); ++c) {
+    const auto& chunk = coll.chunks()[static_cast<std::size_t>(c)];
+    for (int sl = 0; sl < split; ++sl) {
+      GlobalDemand::Piece p;
+      p.chunk = c;
+      p.origin = chunk.src;
+      p.bytes = coll.chunk_bytes() / split;
+      p.dsts = chunk.dsts;
+      gd.pieces.push_back(std::move(p));
+    }
+  }
+  return gd;
+}
+
+/// One randomized interval-greedy pass over the global epoch grid. Returns
+/// nullopt when the deadline expires mid-pass.
+std::optional<sim::Schedule> greedy_pass(const GlobalDemand& gd, const PairTable& pairs,
+                                         double tau, util::Rng& rng,
+                                         const util::Stopwatch& clock, double deadline) {
+  const int n = pairs.n;
+  const int np = static_cast<int>(gd.pieces.size());
+
+  struct PieceState {
+    std::vector<int> arrival;  // epoch piece becomes usable at rank, -1 never
+    std::vector<int> pending;  // unserved dsts
+  };
+  std::vector<PieceState> state(static_cast<std::size_t>(np));
+  long remaining = 0;
+  for (int p = 0; p < np; ++p) {
+    auto& ps = state[static_cast<std::size_t>(p)];
+    ps.arrival.assign(static_cast<std::size_t>(n), -1);
+    ps.arrival[static_cast<std::size_t>(gd.pieces[static_cast<std::size_t>(p)].origin)] = 0;
+    ps.pending = gd.pieces[static_cast<std::size_t>(p)].dsts;
+    remaining += static_cast<long>(ps.pending.size());
+  }
+
+  // Port usage per (port id, direction): epochs → used units.
+  std::map<std::pair<int, int>, std::vector<int>> usage;
+  auto occupies = [&](double beta, double bytes) {
+    return std::max(1, static_cast<int>(std::ceil(beta * bytes / tau - 1e-9)));
+  };
+  auto capacity = [&](double beta, double bytes) {
+    return std::max(1, static_cast<int>(std::floor(tau / (beta * bytes) + 1e-9)));
+  };
+  auto port_free = [&](int port, int dir, int t, int occ, int cap) {
+    auto& u = usage[{port, dir}];
+    if (static_cast<int>(u.size()) < t + occ) u.resize(static_cast<std::size_t>(t + occ), 0);
+    for (int o = 0; o < occ; ++o) {
+      if (u[static_cast<std::size_t>(t + o)] >= cap) return false;
+    }
+    return true;
+  };
+  auto port_take = [&](int port, int dir, int t, int occ) {
+    auto& u = usage[{port, dir}];
+    for (int o = 0; o < occ; ++o) ++u[static_cast<std::size_t>(t + o)];
+  };
+
+  struct PlacedOp {
+    int epoch;
+    int piece;
+    int src;
+    int dst;
+    int dim;
+  };
+  std::vector<PlacedOp> placed;
+
+  // Randomized piece priority — different restarts explore different
+  // interleavings (the "solver budget" knob).
+  std::vector<int> order(static_cast<std::size_t>(np));
+  for (int p = 0; p < np; ++p) order[static_cast<std::size_t>(p)] = p;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+
+  const long max_epochs = 4096 + 8L * np * n;
+  for (int t = 0; remaining > 0; ++t) {
+    if (t > max_epochs) return std::nullopt;
+    if ((t & 15) == 0 && clock.elapsed_seconds() > deadline) return std::nullopt;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int p : order) {
+        auto& ps = state[static_cast<std::size_t>(p)];
+        if (ps.pending.empty()) continue;
+        const double bytes = gd.pieces[static_cast<std::size_t>(p)].bytes;
+        for (std::size_t di = 0; di < ps.pending.size();) {
+          const int d = ps.pending[di];
+          // Pick the available holder with the cheapest pair parameters and
+          // free ports at epoch t.
+          int best_src = -1;
+          double best_cost = std::numeric_limits<double>::infinity();
+          for (int s = 0; s < n; ++s) {
+            const int arr = ps.arrival[static_cast<std::size_t>(s)];
+            if (arr < 0 || arr > t || s == d) continue;
+            const PairParams& pp = pairs.at(s, d);
+            const int occ = occupies(pp.beta, bytes);
+            const int cap = capacity(pp.beta, bytes);
+            if (!port_free(pp.up_port, 0, t, occ, cap) ||
+                !port_free(pp.down_port, 1, t, occ, cap)) {
+              continue;
+            }
+            const double cost = pp.alpha + pp.beta * bytes;
+            if (cost < best_cost) {
+              best_cost = cost;
+              best_src = s;
+            }
+          }
+          if (best_src < 0) {
+            ++di;
+            continue;
+          }
+          const PairParams& pp = pairs.at(best_src, d);
+          const int occ = occupies(pp.beta, bytes);
+          port_take(pp.up_port, 0, t, occ);
+          port_take(pp.down_port, 1, t, occ);
+          const int lat = std::max(1, static_cast<int>(std::ceil(
+                                          (pp.alpha + pp.beta * bytes) / tau - 1e-9)));
+          placed.push_back(PlacedOp{t, p, best_src, d, pp.dim});
+          ps.arrival[static_cast<std::size_t>(d)] = t + lat;
+          ps.pending[di] = ps.pending.back();
+          ps.pending.pop_back();
+          --remaining;
+          progress = true;
+        }
+      }
+    }
+  }
+
+  std::stable_sort(placed.begin(), placed.end(),
+                   [](const PlacedOp& a, const PlacedOp& b) { return a.epoch < b.epoch; });
+  sim::Schedule s;
+  s.name = "teccl";
+  for (int p = 0; p < np; ++p) {
+    const auto& gp = gd.pieces[static_cast<std::size_t>(p)];
+    s.add_piece(sim::Piece{gp.chunk, gp.bytes, gp.origin, false, {}});
+  }
+  for (const auto& op : placed) s.add_op(op.piece, op.src, op.dst, op.dim);
+  return s;
+}
+
+sim::Schedule reverse_to_reduce(const sim::Schedule& forward, int num_ranks) {
+  sim::Schedule out;
+  out.name = "teccl-reduce";
+  std::vector<int> contributors(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) contributors[static_cast<std::size_t>(r)] = r;
+  for (const auto& p : forward.pieces) {
+    out.pieces.push_back(sim::Piece{p.origin, p.bytes, -1, true, contributors});
+  }
+  for (auto it = forward.ops.rbegin(); it != forward.ops.rend(); ++it) {
+    sim::TransferOp op = *it;
+    std::swap(op.src, op.dst);
+    out.ops.push_back(op);
+  }
+  return out;
+}
+
+int default_split(const topo::TopologyGroups& groups) {
+  if (groups.num_dims() < 2) return 2;
+  // One slice per rail keeps multipath routing available.
+  return std::max(2, static_cast<int>(groups.dims[1].groups.size()) / 2);
+}
+
+}  // namespace
+
+TecclResult teccl_synthesize(const coll::Collective& coll, const topo::TopologyGroups& groups,
+                             const TecclOptions& options) {
+  using coll::CollKind;
+  if (coll.kind() == CollKind::AllReduce) {
+    const coll::Collective rs = coll::make_reduce_scatter(coll.num_ranks(), coll.total_bytes());
+    const coll::Collective ag = coll::make_allgather(coll.num_ranks(), coll.total_bytes());
+    TecclOptions half = options;
+    half.time_budget_s = options.time_budget_s / 2;
+    TecclResult first = teccl_synthesize(rs, groups, half);
+    TecclResult second = teccl_synthesize(ag, groups, half);
+    first.schedule.append_sequential(second.schedule);
+    first.schedule.name = "teccl-allreduce";
+    first.synth_seconds += second.synth_seconds;
+    first.timed_out = first.timed_out || second.timed_out;
+    first.predicted_time += second.predicted_time;
+    return first;
+  }
+
+  const bool reverse = coll.kind() == CollKind::ReduceScatter;
+  const coll::Collective forward =
+      reverse ? coll::make_allgather(coll.num_ranks(), coll.total_bytes()) : coll;
+  if (forward.kind() != CollKind::AllGather && forward.kind() != CollKind::AllToAll &&
+      forward.kind() != CollKind::Broadcast && forward.kind() != CollKind::Scatter) {
+    throw std::invalid_argument("TECCL baseline does not handle this collective kind");
+  }
+
+  util::Stopwatch clock;
+  const PairTable pairs = build_pair_table(groups);
+  const int split = options.split > 0 ? options.split : default_split(groups);
+  const GlobalDemand gd = forward_demand(forward, split);
+
+  // τ from the fastest pair (Appendix A: one grid for all link classes).
+  double beta_fast = std::numeric_limits<double>::infinity();
+  for (const auto& p : pairs.pairs) {
+    if (p.dim >= 0) beta_fast = std::min(beta_fast, p.beta);
+  }
+  const double piece_bytes = gd.pieces.front().bytes;
+  const double tau = std::max(options.E, 0.05) * beta_fast * piece_bytes;
+
+  const sim::Simulator simulator(groups);
+  util::Rng rng(options.seed);
+
+  TecclResult result;
+  double best_time = std::numeric_limits<double>::infinity();
+  while (clock.elapsed_seconds() < options.time_budget_s) {
+    const auto pass = greedy_pass(gd, pairs, tau, rng, clock, options.time_budget_s);
+    if (!pass.has_value()) break;
+    ++result.restarts;
+    sim::Schedule candidate = reverse ? reverse_to_reduce(*pass, coll.num_ranks()) : *pass;
+    try {
+      const double t = simulator.time_collective(candidate, coll);
+      if (t < best_time) {
+        best_time = t;
+        result.schedule = std::move(candidate);
+        result.predicted_time = t;
+      }
+    } catch (const std::exception& e) {
+      SYCCL_WARN << "TECCL pass produced invalid schedule: " << e.what();
+    }
+  }
+  result.synth_seconds = clock.elapsed_seconds();
+  result.timed_out = !std::isfinite(best_time);
+  return result;
+}
+
+}  // namespace syccl::baselines

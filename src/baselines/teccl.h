@@ -1,0 +1,53 @@
+// TECCL baseline: whole-collective epoch scheduling (paper §2.3, Appendix A;
+// reimplementation of the approach in Liu et al., SIGCOMM'24).
+//
+// TECCL encodes the *entire* collective over the *entire* topology with one
+// epoch duration τ, which is exactly its weakness on multi-dimensional
+// clusters: NVLink and network transmissions cannot both fit the grid
+// (Appendix A.2), and the model size explodes with GPU count. We reproduce
+// the approach structurally:
+//   * one global epoch grid derived from the fastest link class;
+//   * per-pair latency/occupancy in that grid;
+//   * an interval-greedy scheduler over all chunks at once (TECCL's
+//     scalability fallback), improved by randomized restarts until the time
+//     budget is exhausted — mirroring how the MILP burns its wall-clock
+//     budget;
+//   * a hard time budget after which the best incumbent is returned, or a
+//     timeout is reported if no feasible schedule was found at all.
+#pragma once
+
+#include <string>
+
+#include "coll/collective.h"
+#include "sim/schedule.h"
+#include "topo/groups.h"
+
+namespace syccl::baselines {
+
+struct TecclOptions {
+  /// Epoch knob on the fastest link class (τ = E·β_fast·s).
+  double E = 1.0;
+  /// Wall-clock budget; the scheduler restarts with new randomized
+  /// orderings until it runs out (stands in for the MILP's solve budget —
+  /// the paper ran TECCL with a 10 h timeout).
+  double time_budget_s = 10.0;
+  /// Chunk split factor for multipath routing (0 = #NICs per server).
+  int split = 0;
+  /// Restart seed.
+  std::uint64_t seed = 1;
+};
+
+struct TecclResult {
+  sim::Schedule schedule;
+  double synth_seconds = 0.0;
+  bool timed_out = false;  ///< budget expired before any feasible schedule
+  int restarts = 0;
+  double predicted_time = 0.0;
+};
+
+/// Synthesizes a schedule for AllGather / ReduceScatter / AllToAll /
+/// Broadcast / AllReduce. Throws std::invalid_argument otherwise.
+TecclResult teccl_synthesize(const coll::Collective& coll, const topo::TopologyGroups& groups,
+                             const TecclOptions& options = {});
+
+}  // namespace syccl::baselines

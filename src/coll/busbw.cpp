@@ -1,0 +1,39 @@
+#include "coll/busbw.h"
+
+#include <stdexcept>
+
+namespace syccl::coll {
+
+double busbw_factor(CollKind kind, int num_ranks) {
+  const double n = static_cast<double>(num_ranks);
+  switch (kind) {
+    case CollKind::AllGather:
+    case CollKind::ReduceScatter:
+    case CollKind::AllToAll:
+      return (n - 1.0) / n;
+    case CollKind::AllReduce:
+      return 2.0 * (n - 1.0) / n;
+    case CollKind::SendRecv:
+    case CollKind::Broadcast:
+    case CollKind::Scatter:
+    case CollKind::Gather:
+    case CollKind::Reduce:
+      return 1.0;
+  }
+  throw std::invalid_argument("unknown collective kind");
+}
+
+double algbw(std::uint64_t total_bytes, double seconds) {
+  if (seconds <= 0.0) throw std::invalid_argument("non-positive completion time");
+  return static_cast<double>(total_bytes) / seconds;
+}
+
+double busbw(const Collective& coll, double seconds) {
+  return algbw(coll.total_bytes(), seconds) * busbw_factor(coll.kind(), coll.num_ranks());
+}
+
+double busbw_GBps(const Collective& coll, double seconds) {
+  return busbw(coll, seconds) / 1e9;
+}
+
+}  // namespace syccl::coll

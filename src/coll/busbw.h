@@ -1,0 +1,27 @@
+// Bus bandwidth metric (paper §7.1), following nccl-tests PERFORMANCE.md:
+// algbw = size / time; busbw = algbw × collective-specific factor that
+// normalises to the per-link hardware bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "coll/collective.h"
+
+namespace syccl::coll {
+
+/// The busbw correction factor for `kind` with `num_ranks` participants:
+/// AllGather/ReduceScatter/AllToAll → (n−1)/n, AllReduce → 2(n−1)/n,
+/// rooted collectives → 1.
+double busbw_factor(CollKind kind, int num_ranks);
+
+/// algbw in bytes/second for a collective of `total_bytes` finishing in
+/// `seconds`.
+double algbw(std::uint64_t total_bytes, double seconds);
+
+/// busbw in bytes/second.
+double busbw(const Collective& coll, double seconds);
+
+/// busbw in GB/s (decimal GB, as plotted in the paper figures).
+double busbw_GBps(const Collective& coll, double seconds);
+
+}  // namespace syccl::coll

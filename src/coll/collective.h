@@ -1,0 +1,88 @@
+// Collective communication model (paper §2.1, Table 1).
+//
+// A collective involves ranks 0..n-1 (indices into Topology::gpus()) and a
+// set of equally sized chunks C. F_s maps each chunk to the rank it starts
+// on; F_d maps each chunk to the set of ranks that demand it; r says whether
+// chunks are reduced at the destination.
+//
+// Size convention: `total_bytes` is the nccl-tests "size" column — the full
+// collective payload (e.g. the AllGather receive buffer across all ranks).
+// chunk_bytes() derives the per-chunk size from it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace syccl::coll {
+
+enum class CollKind {
+  SendRecv,
+  Broadcast,
+  Scatter,
+  Gather,
+  Reduce,
+  AllGather,
+  AllToAll,
+  ReduceScatter,
+  AllReduce,
+};
+
+/// Human-readable name ("AllGather", ...).
+const char* kind_name(CollKind kind);
+
+struct Chunk {
+  int src = 0;                ///< F_s: initial rank
+  std::vector<int> dsts;      ///< F_d: demanding ranks (never contains src)
+};
+
+class Collective {
+ public:
+  /// `chunk_bytes` is the uniform size s of every chunk (Table 1); factories
+  /// derive it from `total_bytes` per nccl-tests semantics (e.g. D/n for
+  /// AllGather/ReduceScatter/AllToAll, D for Broadcast).
+  Collective(CollKind kind, int num_ranks, std::uint64_t total_bytes, double chunk_bytes,
+             bool reduce, std::vector<Chunk> chunks);
+
+  CollKind kind() const { return kind_; }
+  int num_ranks() const { return num_ranks_; }
+  bool reduce() const { return reduce_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+  int num_chunks() const { return static_cast<int>(chunks_.size()); }
+
+  /// Uniform chunk size s (Table 1). At least 1 byte.
+  double chunk_bytes() const { return chunk_bytes_; }
+
+  /// Validates structural invariants (ranks in range, no src in dsts, no
+  /// duplicate dsts); throws std::invalid_argument on violation.
+  void validate() const;
+
+  std::string describe() const;
+
+ private:
+  CollKind kind_;
+  int num_ranks_;
+  std::uint64_t total_bytes_;
+  double chunk_bytes_;
+  bool reduce_;
+  std::vector<Chunk> chunks_;
+};
+
+/// Factories — one per pattern of §2.1. `total_bytes` follows the size
+/// convention above. `root` defaults to rank 0 for rooted collectives.
+Collective make_sendrecv(int num_ranks, int src, int dst, std::uint64_t total_bytes);
+Collective make_broadcast(int num_ranks, std::uint64_t total_bytes, int root = 0);
+Collective make_scatter(int num_ranks, std::uint64_t total_bytes, int root = 0);
+Collective make_gather(int num_ranks, std::uint64_t total_bytes, int root = 0);
+Collective make_reduce(int num_ranks, std::uint64_t total_bytes, int root = 0);
+Collective make_allgather(int num_ranks, std::uint64_t total_bytes);
+Collective make_alltoall(int num_ranks, std::uint64_t total_bytes);
+Collective make_reduce_scatter(int num_ranks, std::uint64_t total_bytes);
+/// AllReduce is synthesised as ReduceScatter + AllGather (§4.3); this factory
+/// exists for demand description and busbw accounting.
+Collective make_allreduce(int num_ranks, std::uint64_t total_bytes);
+
+}  // namespace syccl::coll

@@ -1,0 +1,80 @@
+#include "coll/decompose.h"
+
+#include <stdexcept>
+
+namespace syccl::coll {
+
+bool is_all_to_all(CollKind kind) {
+  return kind == CollKind::AllGather || kind == CollKind::AllToAll ||
+         kind == CollKind::ReduceScatter || kind == CollKind::AllReduce;
+}
+
+bool is_all_to_one(CollKind kind) {
+  return kind == CollKind::Gather || kind == CollKind::Reduce;
+}
+
+namespace {
+
+CollKind rooted_kind_for(CollKind kind) {
+  switch (kind) {
+    case CollKind::AllGather: return CollKind::Broadcast;
+    case CollKind::AllToAll: return CollKind::Scatter;
+    case CollKind::ReduceScatter: return CollKind::Reduce;
+    default:
+      throw std::invalid_argument("collective is not decomposable into rooted collectives");
+  }
+}
+
+}  // namespace
+
+Collective prototype_rooted(const Collective& coll, int root) {
+  const CollKind rk = rooted_kind_for(coll.kind());
+  const int n = coll.num_ranks();
+  // The prototype keeps the per-chunk size of the parent: a Broadcast piece
+  // of an AllGather carries total/n bytes, i.e. a rooted total of total/n.
+  const auto rooted_total =
+      static_cast<std::uint64_t>(coll.chunk_bytes() * (rk == CollKind::Broadcast ? 1 : n));
+  switch (rk) {
+    case CollKind::Broadcast: return make_broadcast(n, rooted_total, root);
+    case CollKind::Scatter: return make_scatter(n, rooted_total, root);
+    case CollKind::Reduce: {
+      // The Reduce rooted at `root` in a ReduceScatter gathers one chunk
+      // from every other rank; chunk size must match the parent's.
+      return make_reduce(n, rooted_total, root);
+    }
+    default: break;
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::vector<Collective> decompose(const Collective& coll) {
+  if (coll.kind() == CollKind::AllReduce) {
+    throw std::invalid_argument(
+        "AllReduce decomposes into phases, not rooted collectives; use allreduce_phases");
+  }
+  const int n = coll.num_ranks();
+  std::vector<Collective> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) out.push_back(prototype_rooted(coll, r));
+  return out;
+}
+
+CollKind inverse_kind(CollKind kind) {
+  switch (kind) {
+    case CollKind::Broadcast: return CollKind::Reduce;
+    case CollKind::Reduce: return CollKind::Broadcast;
+    case CollKind::Scatter: return CollKind::Gather;
+    case CollKind::Gather: return CollKind::Scatter;
+    default: throw std::invalid_argument("collective has no rooted inverse");
+  }
+}
+
+std::pair<Collective, Collective> allreduce_phases(const Collective& coll) {
+  if (coll.kind() != CollKind::AllReduce) {
+    throw std::invalid_argument("allreduce_phases requires an AllReduce collective");
+  }
+  return {make_reduce_scatter(coll.num_ranks(), coll.total_bytes()),
+          make_allgather(coll.num_ranks(), coll.total_bytes())};
+}
+
+}  // namespace syccl::coll

@@ -1,0 +1,38 @@
+// All-to-all decomposition into isomorphic one-to-all / all-to-one
+// collectives (paper §4.3): AllGather → Broadcasts, AllToAll → Scatters,
+// ReduceScatter → Reduces; AllReduce → ReduceScatter then AllGather.
+#pragma once
+
+#include <vector>
+
+#include "coll/collective.h"
+
+namespace syccl::coll {
+
+/// True when `kind` is all-to-all (decomposable into N rooted collectives).
+bool is_all_to_all(CollKind kind);
+
+/// True when `kind` is all-to-one (Gather/Reduce): synthesised as the inverse
+/// of the corresponding one-to-all collective (§4.1).
+bool is_all_to_one(CollKind kind);
+
+/// The rooted *prototype* collective of an all-to-all collective: the
+/// decomposed collective rooted at `root` (default rank 0). The sketch engine
+/// searches sketches for the prototype and replicates them to all roots.
+/// Throws for non-decomposable kinds.
+Collective prototype_rooted(const Collective& coll, int root = 0);
+
+/// Full decomposition: one rooted collective per rank (§4.3). Chunk ids in
+/// the originals correspond positionally: decomposed[r] owns the chunks of
+/// `coll` whose src is r.
+std::vector<Collective> decompose(const Collective& coll);
+
+/// The inverse collective of a rooted one (Broadcast ↔ Reduce,
+/// Scatter ↔ Gather): same tree structure with all edges reversed.
+CollKind inverse_kind(CollKind kind);
+
+/// For AllReduce: the (ReduceScatter, AllGather) pair whose concatenation
+/// realises it (§4.3). Each phase carries the full total_bytes.
+std::pair<Collective, Collective> allreduce_phases(const Collective& coll);
+
+}  // namespace syccl::coll

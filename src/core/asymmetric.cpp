@@ -1,0 +1,181 @@
+#include "core/asymmetric.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace syccl::core {
+
+void validate_demand_matrix(const DemandMatrix& demand, const topo::TopologyGroups& groups) {
+  const std::size_t n = groups.group_of.front().size();
+  if (demand.size() != n) throw std::invalid_argument("demand matrix rank-count mismatch");
+  for (std::size_t s = 0; s < n; ++s) {
+    if (demand[s].size() != n) throw std::invalid_argument("demand matrix is not square");
+    if (demand[s][s] != 0) throw std::invalid_argument("demand matrix diagonal must be zero");
+  }
+}
+
+sim::Schedule synthesize_alltoallv(const DemandMatrix& demand,
+                                   const topo::TopologyGroups& groups) {
+  validate_demand_matrix(demand, groups);
+  const int n = static_cast<int>(demand.size());
+  sim::Schedule out;
+  out.name = "syccl-alltoallv";
+
+  struct Entry {
+    int src, dst, piece;
+    std::uint64_t bytes;
+  };
+  std::vector<Entry> entries;
+  int chunk = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (demand[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] == 0) continue;
+      const auto bytes = demand[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)];
+      const int piece =
+          out.add_piece(sim::Piece{chunk++, static_cast<double>(bytes), s, false, {}});
+      entries.push_back(Entry{s, d, piece, bytes});
+    }
+  }
+
+  // Longest-processing-time first: big transfers claim the contended ports
+  // early so small ones backfill the gaps.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.bytes > b.bytes; });
+
+  const bool rails = groups.num_dims() >= 3;
+  const auto& server_of = groups.group_of[0];
+  const auto& rail_of = groups.num_dims() >= 2 ? groups.group_of[1] : groups.group_of[0];
+
+  for (const Entry& e : entries) {
+    const bool same_server = server_of[static_cast<std::size_t>(e.src)] ==
+                             server_of[static_cast<std::size_t>(e.dst)];
+    const bool same_rail =
+        rail_of[static_cast<std::size_t>(e.src)] == rail_of[static_cast<std::size_t>(e.dst)];
+    if (rails && !same_server && !same_rail) {
+      // PXN-style relay: NVLink to the server-mate on the destination rail,
+      // then a same-rail network hop.
+      const auto& server =
+          groups.dims[0].groups[static_cast<std::size_t>(
+              server_of[static_cast<std::size_t>(e.src)])];
+      int relay = -1;
+      for (int r : server.ranks) {
+        if (rail_of[static_cast<std::size_t>(r)] == rail_of[static_cast<std::size_t>(e.dst)]) {
+          relay = r;
+          break;
+        }
+      }
+      if (relay >= 0 && relay != e.src) {
+        out.add_op(e.piece, e.src, relay, 0);
+        out.add_op(e.piece, relay, e.dst, 1);
+        continue;
+      }
+    }
+    out.add_op(e.piece, e.src, e.dst);
+  }
+  return out;
+}
+
+sim::Schedule synthesize_allgatherv(const std::vector<std::uint64_t>& bytes_per_rank,
+                                    const topo::TopologyGroups& groups) {
+  const int n = static_cast<int>(groups.group_of.front().size());
+  if (static_cast<int>(bytes_per_rank.size()) != n) {
+    throw std::invalid_argument("bytes_per_rank rank-count mismatch");
+  }
+  sim::Schedule out;
+  out.name = "syccl-allgatherv";
+
+  struct Entry {
+    int rank, piece;
+    std::uint64_t bytes;
+  };
+  std::vector<Entry> entries;
+  for (int r = 0; r < n; ++r) {
+    if (bytes_per_rank[static_cast<std::size_t>(r)] == 0) continue;
+    const int piece = out.add_piece(sim::Piece{
+        r, static_cast<double>(bytes_per_rank[static_cast<std::size_t>(r)]), r, false, {}});
+    entries.push_back(Entry{r, piece, bytes_per_rank[static_cast<std::size_t>(r)]});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.bytes > b.bytes; });
+
+  const auto& servers = groups.dims.front().groups;
+  const auto& server_of = groups.group_of[0];
+
+  for (const Entry& e : entries) {
+    const int home = server_of[static_cast<std::size_t>(e.rank)];
+    // NVLink fill of the home server.
+    for (int g : servers[static_cast<std::size_t>(home)].ranks) {
+      if (g != e.rank) out.add_op(e.piece, e.rank, g, 0);
+    }
+    // One crossing per remote server (rail-aligned when possible — the
+    // owner's counterpart shares its rail on multi-rail fabrics), then
+    // NVLink fan-out from the entry GPU.
+    const int local = servers[static_cast<std::size_t>(home)].local_of(e.rank);
+    for (std::size_t si = 0; si < servers.size(); ++si) {
+      if (static_cast<int>(si) == home) continue;
+      const auto& server = servers[si];
+      const int entry = server.ranks[static_cast<std::size_t>(
+          local % static_cast<int>(server.ranks.size()))];
+      out.add_op(e.piece, e.rank, entry);
+      for (int g : server.ranks) {
+        if (g != entry) out.add_op(e.piece, entry, g, 0);
+      }
+    }
+  }
+  return out;
+}
+
+bool verify_allgatherv(const sim::Schedule& schedule,
+                       const std::vector<std::uint64_t>& bytes_per_rank) {
+  const int n = static_cast<int>(bytes_per_rank.size());
+  std::map<std::pair<int, int>, bool> have;
+  for (std::size_t pi = 0; pi < schedule.pieces.size(); ++pi) {
+    have[{static_cast<int>(pi), schedule.pieces[pi].origin}] = true;
+  }
+  for (const auto& op : schedule.ops) {
+    if (!have[{op.piece, op.src}]) return false;
+    have[{op.piece, op.dst}] = true;
+  }
+  for (std::size_t pi = 0; pi < schedule.pieces.size(); ++pi) {
+    for (int r = 0; r < n; ++r) {
+      if (!have[{static_cast<int>(pi), r}]) return false;
+    }
+  }
+  // Every non-zero contribution must be represented by a piece.
+  std::size_t expected = 0;
+  for (auto b : bytes_per_rank) expected += b > 0 ? 1 : 0;
+  return schedule.pieces.size() == expected;
+}
+
+bool verify_alltoallv(const sim::Schedule& schedule, const DemandMatrix& demand) {
+  // Replay availability and check the (src → dst, bytes) coverage.
+  std::map<std::pair<int, int>, bool> have;  // (piece, rank)
+  for (std::size_t pi = 0; pi < schedule.pieces.size(); ++pi) {
+    have[{static_cast<int>(pi), schedule.pieces[pi].origin}] = true;
+  }
+  for (const auto& op : schedule.ops) {
+    if (!have[{op.piece, op.src}]) return false;
+    have[{op.piece, op.dst}] = true;
+  }
+  // Sum delivered bytes per (origin, dst).
+  std::map<std::pair<int, int>, double> delivered;
+  for (const auto& [key, present] : have) {
+    if (!present) continue;
+    const auto& piece = schedule.pieces[static_cast<std::size_t>(key.first)];
+    if (key.second == piece.origin) continue;
+    delivered[{piece.origin, key.second}] += piece.bytes;
+  }
+  for (std::size_t s = 0; s < demand.size(); ++s) {
+    for (std::size_t d = 0; d < demand.size(); ++d) {
+      if (demand[s][d] == 0) continue;
+      if (delivered[{static_cast<int>(s), static_cast<int>(d)}] + 1e-6 <
+          static_cast<double>(demand[s][d])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace syccl::core

@@ -1,0 +1,50 @@
+// Asymmetric collectives (paper §8, "Adaptability to asymmetric collective
+// workloads").
+//
+// MoE-style Alltoall(v) breaks the collective symmetry SyCCL relies on; the
+// paper argues heuristic synthesis is the right tool there and suggests
+// SyCCL can still seed it. This module implements that path: a size-aware
+// heuristic that routes each (src, dst, bytes) entry directly — or through a
+// rail-aligned relay on multi-rail fabrics (PXN-style) — ordering transfers
+// longest-first to minimise makespan on the contended ports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/schedule.h"
+#include "topo/groups.h"
+
+namespace syccl::core {
+
+/// Per-pair demand matrix: bytes[s][d] to move from rank s to rank d
+/// (diagonal ignored). Sizes may differ arbitrarily — Alltoallv.
+using DemandMatrix = std::vector<std::vector<std::uint64_t>>;
+
+/// Validates shape (square, matching the topology's rank count, zero
+/// diagonal). Throws std::invalid_argument otherwise.
+void validate_demand_matrix(const DemandMatrix& demand, const topo::TopologyGroups& groups);
+
+/// Heuristic Alltoallv schedule: longest-processing-time-first ordering,
+/// rail-aligned relays for cross-rail transfers on ≥3-dimensional
+/// topologies. Piece i corresponds to matrix entry in row-major order of
+/// the non-zero entries; Piece::chunk is assigned densely in that order.
+sim::Schedule synthesize_alltoallv(const DemandMatrix& demand,
+                                   const topo::TopologyGroups& groups);
+
+/// True when every destination receives every non-zero entry destined to it
+/// exactly once (structural check mirroring validate_schedule).
+bool verify_alltoallv(const sim::Schedule& schedule, const DemandMatrix& demand);
+
+/// Heuristic AllGatherv (paper §8: AllGather(v) with per-rank sizes): each
+/// rank with a non-zero contribution broadcasts it hierarchically — NVLink
+/// inside its server, one rail crossing per remote server, NVLink fan-out
+/// there. Contributions are issued longest-first.
+sim::Schedule synthesize_allgatherv(const std::vector<std::uint64_t>& bytes_per_rank,
+                                    const topo::TopologyGroups& groups);
+
+/// True when every rank holds every non-zero contribution.
+bool verify_allgatherv(const sim::Schedule& schedule,
+                       const std::vector<std::uint64_t>& bytes_per_rank);
+
+}  // namespace syccl::core

@@ -1,0 +1,114 @@
+#include "core/cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "runtime/xml.h"
+#include "util/log.h"
+
+namespace syccl::core {
+
+namespace {
+
+/// Filesystem-safe digest of an arbitrary string.
+std::string digest(const std::string& text) {
+  // FNV-1a, printed as hex — collision-safe enough for a cache key prefix;
+  // the full key is verified from the index file on load.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  std::ostringstream os;
+  os << std::hex << h;
+  return os.str();
+}
+
+}  // namespace
+
+std::string topology_signature(const topo::TopologyGroups& groups) {
+  std::ostringstream os;
+  for (const auto& dim : groups.dims) {
+    os << "dim(tier=" << dim.tier << ",cap=" << dim.capacity_dim << "){";
+    for (const auto& g : dim.groups) os << g.signature() << "|";
+    os << "}";
+  }
+  return os.str();
+}
+
+std::string schedule_key(const topo::TopologyGroups& groups, const coll::Collective& coll) {
+  std::ostringstream os;
+  os << digest(topology_signature(groups)) << ":" << coll::kind_name(coll.kind()) << ":"
+     << coll.num_ranks() << ":" << coll.total_bytes();
+  return os.str();
+}
+
+ScheduleLibrary::ScheduleLibrary(Synthesizer& synth) : synth_(synth) {}
+
+const SynthesisResult& ScheduleLibrary::get(const coll::Collective& coll) {
+  const std::string key = schedule_key(synth_.groups(), coll);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    it = entries_.emplace(key, synth_.synthesize(coll)).first;
+  }
+  return it->second;
+}
+
+bool ScheduleLibrary::contains(const coll::Collective& coll) const {
+  return entries_.count(schedule_key(synth_.groups(), coll)) != 0;
+}
+
+int ScheduleLibrary::save(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  std::ofstream index(fs::path(dir) / "index.txt");
+  if (!index) return 0;
+  int written = 0;
+  for (const auto& [key, result] : entries_) {
+    const std::string file = digest(key) + ".xml";
+    std::ofstream out(fs::path(dir) / file);
+    if (!out) continue;
+    // num_ranks is recoverable from the key (third field).
+    std::istringstream ks(key);
+    std::string topo_part, kind_part, ranks_part;
+    std::getline(ks, topo_part, ':');
+    std::getline(ks, kind_part, ':');
+    std::getline(ks, ranks_part, ':');
+    out << runtime::to_xml(result.schedule, std::stoi(ranks_part));
+    index << key << " " << file << " " << result.predicted_time << "\n";
+    ++written;
+  }
+  return written;
+}
+
+int ScheduleLibrary::load(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::ifstream index(fs::path(dir) / "index.txt");
+  if (!index) return 0;
+  const std::string my_topo = digest(topology_signature(synth_.groups()));
+  int loaded = 0;
+  std::string key, file;
+  double predicted = 0.0;
+  while (index >> key >> file >> predicted) {
+    if (key.rfind(my_topo + ":", 0) != 0) continue;  // different topology
+    std::ifstream in(fs::path(dir) / file);
+    if (!in) continue;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      SynthesisResult result;
+      result.schedule = runtime::from_xml(buffer.str());
+      result.predicted_time = predicted;
+      result.chosen = "loaded from library";
+      entries_[key] = std::move(result);
+      ++loaded;
+    } catch (const std::exception& e) {
+      SYCCL_WARN << "skipping corrupt library entry " << file << ": " << e.what();
+    }
+  }
+  return loaded;
+}
+
+}  // namespace syccl::core

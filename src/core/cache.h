@@ -1,0 +1,52 @@
+// Schedule library: memoised synthesis plus a persistent on-disk format.
+//
+// Production deployments synthesize once per (topology, collective, size)
+// and serve the schedule from a library afterwards (the paper's workflow:
+// synthesize offline in minutes, execute for the lifetime of the job). The
+// library keys on a structural topology signature, so a re-profiled but
+// identical cluster hits the cache.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "coll/collective.h"
+#include "core/synthesizer.h"
+
+namespace syccl::core {
+
+/// Structural digest of a topology's dimension/group decomposition: equal
+/// signatures ⇒ schedules are transferable.
+std::string topology_signature(const topo::TopologyGroups& groups);
+
+/// Cache key for one collective on one topology.
+std::string schedule_key(const topo::TopologyGroups& groups, const coll::Collective& coll);
+
+class ScheduleLibrary {
+ public:
+  /// The library synthesizes through `synth` on a miss. The synthesizer must
+  /// outlive the library.
+  explicit ScheduleLibrary(Synthesizer& synth);
+
+  /// Returns the cached result for `coll`, synthesizing on first use.
+  const SynthesisResult& get(const coll::Collective& coll);
+
+  /// True if `coll` is already cached (no synthesis triggered).
+  bool contains(const coll::Collective& coll) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Persists every cached schedule as MSCCL-style XML plus an index file
+  /// under `dir` (created if missing). Returns the number of files written.
+  int save(const std::string& dir) const;
+
+  /// Loads previously saved schedules for this library's topology; entries
+  /// for other topologies are skipped. Returns the number loaded.
+  int load(const std::string& dir);
+
+ private:
+  Synthesizer& synth_;
+  std::map<std::string, SynthesisResult> entries_;
+};
+
+}  // namespace syccl::core

@@ -1,0 +1,48 @@
+// Sub-schedule merging (paper §5.2).
+//
+// Solved sub-schedules are stitched into one global schedule: ops are issued
+// stage by stage and, inside a stage, epoch by epoch across all groups.
+// Stages are NOT barriers — the simulator lets a GPU forward a piece the
+// moment it arrives (Fig. 12(b)); the issue order only fixes per-port FIFO
+// order.
+//
+// Reduce collectives (Reduce / Gather / ReduceScatter) reuse forward
+// synthesis: `reverse=true` flips every op (src↔dst) and reverses the global
+// order, turning broadcast trees into reduction trees of identical cost, and
+// rewrites the pieces as reduce pieces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/subdemand.h"
+#include "sim/schedule.h"
+#include "solver/epoch_model.h"
+
+namespace syccl::core {
+
+/// Merges solved sub-schedules (parallel array to `plan.demands`) into a
+/// global schedule. When `reverse` is set, `reduce` selects between a
+/// reduction reversal (Broadcast→Reduce: reduce pieces converging on the
+/// forward origin) and a gather reversal (Scatter→Gather: plain pieces whose
+/// origin is the forward destination). Throws std::invalid_argument on size
+/// mismatch.
+sim::Schedule merge_schedule(const DemandPlan& plan,
+                             const std::vector<solver::SubSchedule>& solved,
+                             const topo::TopologyGroups& groups, bool reverse, bool reduce,
+                             std::string name);
+
+/// Rewrites forward pieces into reduce pieces over `contributors` (used by
+/// merge_schedule when reverse=true; exposed for tests).
+std::vector<sim::Piece> reverse_pieces(const std::vector<sim::Piece>& pieces,
+                                       const std::vector<int>& contributors);
+
+/// Reverses a complete forward schedule into its inverse collective's
+/// schedule: ops flipped and played backwards; pieces become reduce pieces
+/// (`reduce` = true, Broadcast→Reduce) or keep their identity with the
+/// origin moved to the forward destination (Scatter→Gather). Works on any
+/// valid forward schedule, including ones whose issue order was tuned.
+sim::Schedule reverse_schedule(const sim::Schedule& forward, bool reduce, int num_ranks,
+                               std::string name);
+
+}  // namespace syccl::core

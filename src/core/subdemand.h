@@ -1,0 +1,52 @@
+// Demand-plan construction: turns a sketch combination plus a collective into
+// the merged sub-demands the solvers consume (paper §5.1).
+//
+// Every weighted sketch carries the chunk(s) originating at its root, scaled
+// by its fraction. Sub-demands of the same (stage, dimension, group, piece
+// size) are merged — they happen simultaneously and compete for the group's
+// bandwidth. Scatter sketches route each destination's chunk (and those of
+// its relay subtree) along the relay tree edges.
+#pragma once
+
+#include <vector>
+
+#include "coll/collective.h"
+#include "sim/schedule.h"
+#include "sketch/sketch.h"
+#include "solver/epoch_model.h"
+#include "topo/groups.h"
+
+namespace syccl::core {
+
+/// One merged sub-demand: a solver SubDemand in group-local indices plus the
+/// mapping from its local piece ids back to global schedule pieces.
+struct MergedSubDemand {
+  int stage = 0;
+  int dim = -1;
+  int group = -1;
+  solver::SubDemand demand;
+  /// global_piece[i] = index into DemandPlan::pieces for demand.pieces[i].
+  std::vector<int> global_piece;
+};
+
+struct DemandPlan {
+  /// Global piece table (becomes Schedule::pieces).
+  std::vector<sim::Piece> pieces;
+  /// Merged sub-demands, ascending by stage.
+  std::vector<MergedSubDemand> demands;
+
+  int add_piece_index(sim::Piece piece) {
+    pieces.push_back(std::move(piece));
+    return static_cast<int>(pieces.size()) - 1;
+  }
+};
+
+/// Builds the demand plan for `combo` realising `coll` (or, for reduce
+/// collectives, realising the forward twin that will be reversed at merge
+/// time — pieces are still emitted as forward pieces here).
+/// Throws std::invalid_argument if a sketch's root carries no chunk of the
+/// collective or group lookups fail.
+DemandPlan build_demand_plan(const sketch::SketchCombination& combo,
+                             const coll::Collective& coll, const topo::TopologyGroups& groups);
+
+}  // namespace syccl::core

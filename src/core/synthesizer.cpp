@@ -1,0 +1,307 @@
+#include "core/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "coll/decompose.h"
+#include "core/merge.h"
+#include "core/subdemand.h"
+#include "sketch/replicate.h"
+#include "sketch/search.h"
+#include "topo/groups.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+namespace syccl::core {
+
+namespace {
+
+/// A candidate = one sketch combination with its demand plan and the
+/// isomorphism-class index of every merged sub-demand.
+struct Candidate {
+  sketch::SketchCombination combo;
+  DemandPlan plan;
+  std::vector<int> demand_class;
+  double predicted = std::numeric_limits<double>::infinity();
+  bool valid = true;
+};
+
+/// Isomorphism-class registry shared by all candidates of one synthesis.
+struct ClassRegistry {
+  std::map<std::string, int> index_of;
+  std::vector<const solver::SubDemand*> representative;
+
+  int intern(const solver::SubDemand& demand) {
+    const std::string key = demand.isomorphism_key();
+    const auto it = index_of.find(key);
+    if (it != index_of.end()) return it->second;
+    const int id = static_cast<int>(representative.size());
+    index_of.emplace(key, id);
+    representative.push_back(&demand);
+    return id;
+  }
+};
+
+}  // namespace
+
+Synthesizer::Synthesizer(const topo::Topology& topo, SynthesisConfig config)
+    : topo_(topo),
+      groups_(topo::extract_groups(topo)),
+      config_(std::move(config)),
+      pool_(static_cast<std::size_t>(std::max(0, config_.num_threads))) {}
+
+SynthesisResult Synthesizer::synthesize(const coll::Collective& coll) {
+  using coll::CollKind;
+  switch (coll.kind()) {
+    case CollKind::SendRecv:
+      return synthesize_sendrecv(coll);
+    case CollKind::Broadcast:
+      return synthesize_pattern(coll, coll, false, coll.chunks().front().src,
+                                sketch::RootedPattern::Broadcast, false);
+    case CollKind::Scatter:
+      return synthesize_pattern(coll, coll, false, coll.chunks().front().src,
+                                sketch::RootedPattern::Scatter, false);
+    case CollKind::Reduce: {
+      // Reverse of Broadcast rooted at the reduce root: synthesize the
+      // forward twin, then flip (§4.1).
+      const int root = coll.chunks().front().dsts.front();
+      const coll::Collective twin =
+          coll::make_broadcast(coll.num_ranks(), coll.total_bytes() / coll.num_ranks(), root);
+      return synthesize_pattern(twin, coll, false, root, sketch::RootedPattern::Broadcast,
+                                true);
+    }
+    case CollKind::Gather: {
+      const int root = coll.chunks().front().dsts.front();
+      const coll::Collective twin =
+          coll::make_scatter(coll.num_ranks(), coll.total_bytes(), root);
+      return synthesize_pattern(twin, coll, false, root, sketch::RootedPattern::Scatter, true);
+    }
+    case CollKind::AllGather:
+      return synthesize_pattern(coll, coll, true, 0, sketch::RootedPattern::Broadcast, false);
+    case CollKind::AllToAll:
+      return synthesize_pattern(coll, coll, true, 0, sketch::RootedPattern::Scatter, false);
+    case CollKind::ReduceScatter: {
+      // Reverse of AllGather with the same per-chunk size.
+      const coll::Collective twin = coll::make_allgather(coll.num_ranks(), coll.total_bytes());
+      return synthesize_pattern(twin, coll, true, 0, sketch::RootedPattern::Broadcast, true);
+    }
+    case CollKind::AllReduce: {
+      const auto [rs, ag] = coll::allreduce_phases(coll);
+      SynthesisResult first = synthesize(rs);
+      SynthesisResult second = synthesize(ag);
+      SynthesisResult out;
+      out.schedule = std::move(first.schedule);
+      out.schedule.append_sequential(second.schedule);
+      out.schedule.name = "syccl-allreduce";
+      out.predicted_time = first.predicted_time + second.predicted_time;
+      out.breakdown = first.breakdown;
+      out.breakdown.search_s += second.breakdown.search_s;
+      out.breakdown.combine_s += second.breakdown.combine_s;
+      out.breakdown.solve1_s += second.breakdown.solve1_s;
+      out.breakdown.solve2_s += second.breakdown.solve2_s;
+      out.breakdown.total_s += second.breakdown.total_s;
+      out.breakdown.num_combinations += second.breakdown.num_combinations;
+      out.breakdown.num_subdemands += second.breakdown.num_subdemands;
+      out.breakdown.num_solver_calls += second.breakdown.num_solver_calls;
+      out.breakdown.max_solve_s =
+          std::max(out.breakdown.max_solve_s, second.breakdown.max_solve_s);
+      out.chosen = first.chosen + " ++ " + second.chosen;
+      return out;
+    }
+  }
+  throw std::invalid_argument("unsupported collective kind");
+}
+
+SynthesisResult Synthesizer::synthesize_sendrecv(const coll::Collective& coll) {
+  SynthesisResult out;
+  out.schedule.name = "syccl-sendrecv";
+  out.schedule.pieces = sim::pieces_for(coll);
+  const auto& chunk = coll.chunks().front();
+  out.schedule.add_op(0, chunk.src, chunk.dsts.front());
+  const sim::Simulator simulator(groups_, config_.sim);
+  out.predicted_time = simulator.time_collective(out.schedule, coll);
+  out.chosen = "direct send";
+  return out;
+}
+
+SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
+                                                const coll::Collective& eval_coll,
+                                                bool all_to_all, int root,
+                                                sketch::RootedPattern pattern, bool reverse) {
+  util::Stopwatch total_clock;
+  SynthesisBreakdown breakdown;
+  util::Stopwatch phase_clock;
+
+  // ---- Phase 1a: sketch search (§4.1).
+  const auto sketches = sketch::search_sketches(groups_, root, pattern, config_.sketch.search);
+  const auto prototypes =
+      sketch::select_prototypes(sketches, groups_, config_.sketch.max_prototypes);
+  breakdown.search_s = phase_clock.elapsed_seconds();
+
+  // ---- Phase 1b: replication + cross-dimension combination (§4.2/§4.3).
+  phase_clock.reset();
+  std::vector<sketch::SketchCombination> balanced;
+  for (const auto& s : prototypes) {
+    try {
+      sketch::SketchCombination combo = sketch::balance_across_groups(s, groups_);
+      if (all_to_all) combo = sketch::replicate_for_all_roots(combo, groups_);
+      balanced.push_back(std::move(combo));
+    } catch (const std::runtime_error& e) {
+      // Some sketch families cannot be replicated consistently onto every
+      // root (their mapping corners itself); drop the family.
+      SYCCL_DEBUG << "dropping sketch family: " << e.what();
+    }
+  }
+  if (balanced.empty()) throw std::runtime_error("no replicable sketch family found");
+  const auto combos = sketch::generate_combinations(balanced, groups_, config_.sketch.combine);
+  if (combos.empty()) throw std::runtime_error("no sketch combinations generated");
+  breakdown.combine_s = phase_clock.elapsed_seconds();
+  breakdown.num_combinations = static_cast<int>(combos.size());
+
+  // ---- Phase 2a: coarse solve of every candidate (§5.1, E₁).
+  phase_clock.reset();
+  std::vector<Candidate> candidates;
+  candidates.reserve(combos.size());
+  ClassRegistry registry;
+  for (const auto& combo : combos) {
+    Candidate cand;
+    cand.combo = combo;
+    cand.plan = build_demand_plan(combo, coll, groups_);
+    cand.demand_class.assign(cand.plan.demands.size(), 0);  // interned below
+    breakdown.num_subdemands += static_cast<int>(cand.plan.demands.size());
+    candidates.push_back(std::move(cand));
+  }
+  // Intern after plans stopped moving (registry stores demand pointers).
+  for (auto& cand : candidates) {
+    for (std::size_t di = 0; di < cand.plan.demands.size(); ++di) {
+      cand.demand_class[di] = registry.intern(cand.plan.demands[di].demand);
+    }
+  }
+
+  auto solve_classes = [&](const solver::MilpSchedulerOptions& base_opts, double E,
+                           const std::vector<bool>& needed,
+                           std::vector<solver::SubSchedule>& out) {
+    solver::MilpSchedulerOptions opts = base_opts;
+    opts.E = E;
+    std::vector<int> todo;
+    for (std::size_t c = 0; c < registry.representative.size(); ++c) {
+      if (needed[c]) todo.push_back(static_cast<int>(c));
+    }
+    out.resize(registry.representative.size());
+    std::vector<double> solve_times(todo.size(), 0.0);
+    pool_.parallel_for(todo.size(), [&](std::size_t i) {
+      const int c = todo[i];
+      solver::SolveStats stats;
+      out[static_cast<std::size_t>(c)] =
+          solver::solve_sub_demand(*registry.representative[static_cast<std::size_t>(c)], opts,
+                                   &stats);
+      solve_times[i] = stats.solve_seconds;
+    });
+    breakdown.num_solver_calls += static_cast<int>(todo.size());
+    for (double t : solve_times) breakdown.max_solve_s = std::max(breakdown.max_solve_s, t);
+  };
+
+  std::vector<bool> all_needed(registry.representative.size(), true);
+  std::vector<solver::SubSchedule> coarse_solutions;
+  solve_classes(config_.coarse_solver, config_.E1, all_needed, coarse_solutions);
+
+  const sim::Simulator simulator(groups_, config_.sim);
+  auto evaluate = [&](Candidate& cand, const std::vector<solver::SubSchedule>& solutions,
+                      const char* pass) {
+    // Issue-order tuning triples simulation cost; the coarse pass only needs
+    // a ranking, so it simulates once and leaves tuning to the fine pass.
+    const bool tune = pass[0] == 'f';
+    std::vector<solver::SubSchedule> per_demand;
+    per_demand.reserve(cand.plan.demands.size());
+    for (std::size_t di = 0; di < cand.plan.demands.size(); ++di) {
+      per_demand.push_back(solutions[static_cast<std::size_t>(cand.demand_class[di])]);
+    }
+    try {
+      // Always merge and tune the forward schedule first; for reduce/gather
+      // collectives the tuned forward schedule is then reversed (§4.1) and
+      // tuned again — reversing an already well-ordered schedule preserves
+      // its pipelining, reversing a raw one does not.
+      sim::Schedule sched = merge_schedule(cand.plan, per_demand, groups_, false,
+                                           false, "syccl-candidate");
+      if (reverse) {
+        if (tune) simulator.tune_issue_order(sched, coll);
+        sched = reverse_schedule(sched, eval_coll.reduce(),
+                                 static_cast<int>(groups_.group_of.front().size()),
+                                 "syccl-candidate");
+      }
+      // Issue-order tuning removes head-of-line blocking under the per-port
+      // FIFO execution model (§5.2 simulator ranking).
+      cand.predicted = tune ? simulator.tune_issue_order(sched, eval_coll)
+                            : simulator.time_collective(sched, eval_coll);
+      SYCCL_DEBUG << pass << " candidate " << cand.combo.describe() << " -> "
+                  << cand.predicted * 1e6 << " us";
+      return sched;
+    } catch (const std::exception& e) {
+      SYCCL_WARN << "candidate rejected in " << pass << " pass: " << e.what();
+      cand.valid = false;
+      cand.predicted = std::numeric_limits<double>::infinity();
+      return sim::Schedule{};
+    }
+  };
+
+  for (auto& cand : candidates) evaluate(cand, coarse_solutions, "coarse");
+  breakdown.solve1_s = phase_clock.elapsed_seconds();
+
+  // ---- Candidate filter: within R1 of the best, at most R2 (§5.3).
+  phase_clock.reset();
+  double best_coarse = std::numeric_limits<double>::infinity();
+  for (const auto& cand : candidates) best_coarse = std::min(best_coarse, cand.predicted);
+  if (!std::isfinite(best_coarse)) {
+    throw std::runtime_error("every sketch combination failed to produce a valid schedule");
+  }
+  std::vector<Candidate*> survivors;
+  for (auto& cand : candidates) {
+    if (cand.valid && cand.predicted <= best_coarse * (1.0 + config_.R1)) {
+      survivors.push_back(&cand);
+    }
+  }
+  std::stable_sort(survivors.begin(), survivors.end(),
+                   [](const Candidate* a, const Candidate* b) {
+                     return a->predicted < b->predicted;
+                   });
+  if (static_cast<int>(survivors.size()) > config_.R2) {
+    survivors.resize(static_cast<std::size_t>(config_.R2));
+  }
+
+  // ---- Phase 2b: fine solve of the survivors (E₂) and final selection.
+  const std::vector<solver::SubSchedule>* final_solutions = &coarse_solutions;
+  std::vector<solver::SubSchedule> fine_solutions;
+  if (config_.two_step) {
+    std::vector<bool> needed(registry.representative.size(), false);
+    for (const Candidate* cand : survivors) {
+      for (int c : cand->demand_class) needed[static_cast<std::size_t>(c)] = true;
+    }
+    solve_classes(config_.fine_solver, config_.E2, needed, fine_solutions);
+    final_solutions = &fine_solutions;
+  }
+
+  SynthesisResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (Candidate* cand : survivors) {
+    sim::Schedule sched = evaluate(*cand, *final_solutions, "fine");
+    if (cand->valid && cand->predicted < best) {
+      best = cand->predicted;
+      result.schedule = std::move(sched);
+      result.predicted_time = cand->predicted;
+      result.chosen = cand->combo.describe();
+    }
+  }
+  if (!std::isfinite(best)) {
+    throw std::runtime_error("fine pass invalidated every surviving candidate");
+  }
+  breakdown.solve2_s = phase_clock.elapsed_seconds();
+  breakdown.total_s = total_clock.elapsed_seconds();
+  result.schedule.name = "syccl";
+  result.breakdown = breakdown;
+  return result;
+}
+
+}  // namespace syccl::core

@@ -1,0 +1,54 @@
+// Dense two-phase primal simplex LP solver.
+//
+// This is the LP substrate under the MILP branch-and-bound (src/milp) that
+// replaces the commercial solver used by the paper. Sub-demand models are
+// small by construction (SyCCL's whole point, §5.1), so a dense tableau is
+// adequate; we favour simplicity and numerical robustness (Bland's rule
+// fallback) over speed.
+//
+// Problem form:  minimize cᵀx  subject to per-row relations and variable
+// bounds l ≤ x ≤ u (u may be +inf). Internally variables are shifted to
+// x' = x − l ≥ 0 and finite upper bounds become explicit rows.
+#pragma once
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace syccl::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Relation { LessEq, Eq, GreaterEq };
+
+struct Constraint {
+  std::vector<std::pair<int, double>> terms;  ///< (variable, coefficient)
+  Relation rel = Relation::LessEq;
+  double rhs = 0.0;
+};
+
+struct Problem {
+  int num_vars = 0;
+  std::vector<double> objective;  ///< minimize objectiveᵀ x
+  std::vector<double> lower;      ///< defaults to 0 if empty
+  std::vector<double> upper;      ///< defaults to +inf if empty
+  std::vector<Constraint> constraints;
+
+  int add_var(double lo = 0.0, double hi = kInf, double cost = 0.0);
+  void add_constraint(Constraint c) { constraints.push_back(std::move(c)); }
+};
+
+enum class Status { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct Solution {
+  Status status = Status::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the LP. `max_iters` bounds total pivot count across both phases;
+/// `deadline_s` (if positive) bounds wall-clock time — exceeding either
+/// returns Status::IterationLimit.
+Solution solve(const Problem& problem, long max_iters = 200000, double deadline_s = 0.0);
+
+}  // namespace syccl::lp

@@ -1,0 +1,169 @@
+#include "milp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "util/stopwatch.h"
+
+namespace syccl::milp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound = -lp::kInf;  ///< parent LP objective (lower bound)
+
+  bool operator<(const Node& o) const { return bound > o.bound; }  // min-heap
+};
+
+/// Index of the most fractional integer variable, or -1 if integral.
+int most_fractional(const std::vector<double>& x, const std::vector<bool>& is_integer,
+                    double tol) {
+  int best = -1;
+  double best_frac = tol;
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    if (!is_integer[v]) continue;
+    const double f = x[v] - std::floor(x[v]);
+    const double dist = std::min(f, 1.0 - f);
+    if (dist > best_frac) {
+      best_frac = dist;
+      best = static_cast<int>(v);
+    }
+  }
+  return best;
+}
+
+double objective_of(const lp::Problem& p, const std::vector<double>& x) {
+  double obj = 0.0;
+  for (int v = 0; v < p.num_vars; ++v) {
+    obj += (static_cast<std::size_t>(v) < p.objective.size() ? p.objective[static_cast<std::size_t>(v)] : 0.0) *
+           x[static_cast<std::size_t>(v)];
+  }
+  return obj;
+}
+
+}  // namespace
+
+MilpSolution solve(const MilpProblem& problem, const MilpOptions& options,
+                   const std::optional<std::vector<double>>& incumbent) {
+  const int n = problem.lp.num_vars;
+  if (static_cast<int>(problem.is_integer.size()) != n) {
+    throw std::invalid_argument("is_integer size must match num_vars");
+  }
+
+  util::Stopwatch clock;
+  MilpSolution result;
+
+  double best_obj = lp::kInf;
+  std::vector<double> best_x;
+  if (incumbent.has_value()) {
+    if (static_cast<int>(incumbent->size()) != n) {
+      throw std::invalid_argument("incumbent size mismatch");
+    }
+    best_obj = objective_of(problem.lp, *incumbent);
+    best_x = *incumbent;
+  }
+
+  Node root;
+  root.lower = problem.lp.lower;
+  root.upper = problem.lp.upper;
+  root.lower.resize(static_cast<std::size_t>(n), 0.0);
+  root.upper.resize(static_cast<std::size_t>(n), lp::kInf);
+
+  std::priority_queue<Node> open;
+  open.push(std::move(root));
+
+  bool any_lp_feasible = false;
+  double proven_bound = lp::kInf;  // min over open bounds when queue drains
+
+  while (!open.empty()) {
+    if (result.nodes_explored >= options.node_limit ||
+        clock.elapsed_seconds() > options.time_limit_s) {
+      // Remaining open nodes: the best of their bounds is the proof floor.
+      proven_bound = std::min(proven_bound, open.top().bound);
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    ++result.nodes_explored;
+
+    if (node.bound >= best_obj - options.gap_tol * std::max(1.0, std::fabs(best_obj))) {
+      proven_bound = std::min(proven_bound, node.bound);
+      continue;  // cannot improve
+    }
+
+    lp::Problem sub = problem.lp;
+    sub.lower = node.lower;
+    sub.upper = node.upper;
+    const double remaining = options.time_limit_s - clock.elapsed_seconds();
+    const lp::Solution rel =
+        lp::solve(sub, options.lp_iteration_limit, std::max(0.05, remaining));
+    if (rel.status == lp::Status::Infeasible) continue;
+    if (rel.status == lp::Status::Unbounded) {
+      result.status = MilpStatus::Unbounded;
+      return result;
+    }
+    if (rel.status == lp::Status::IterationLimit) continue;  // treat as pruned
+    any_lp_feasible = true;
+
+    if (rel.objective >= best_obj - options.gap_tol * std::max(1.0, std::fabs(best_obj))) {
+      proven_bound = std::min(proven_bound, rel.objective);
+      continue;
+    }
+
+    const int branch_var = most_fractional(rel.x, problem.is_integer, options.int_tol);
+    if (branch_var < 0) {
+      // Integer feasible: round to kill tolerance noise.
+      std::vector<double> x = rel.x;
+      for (int v = 0; v < n; ++v) {
+        if (problem.is_integer[static_cast<std::size_t>(v)]) {
+          x[static_cast<std::size_t>(v)] = std::round(x[static_cast<std::size_t>(v)]);
+        }
+      }
+      const double obj = objective_of(problem.lp, x);
+      if (obj < best_obj) {
+        best_obj = obj;
+        best_x = std::move(x);
+      }
+      continue;
+    }
+
+    const double val = rel.x[static_cast<std::size_t>(branch_var)];
+    Node down = node;
+    down.bound = rel.objective;
+    down.upper[static_cast<std::size_t>(branch_var)] = std::floor(val);
+    Node up = node;
+    up.bound = rel.objective;
+    up.lower[static_cast<std::size_t>(branch_var)] = std::ceil(val);
+    if (down.lower[static_cast<std::size_t>(branch_var)] <=
+        down.upper[static_cast<std::size_t>(branch_var)]) {
+      open.push(std::move(down));
+    }
+    if (up.lower[static_cast<std::size_t>(branch_var)] <=
+        up.upper[static_cast<std::size_t>(branch_var)]) {
+      open.push(std::move(up));
+    }
+  }
+
+  result.best_bound = open.empty() ? (best_x.empty() ? proven_bound : std::min(proven_bound, best_obj))
+                                   : std::min(proven_bound, open.top().bound);
+  if (!best_x.empty()) {
+    result.objective = best_obj;
+    result.x = std::move(best_x);
+    const bool proven = open.empty() ||
+                        result.best_bound >= best_obj - options.gap_tol * std::max(1.0, std::fabs(best_obj));
+    result.status = proven ? MilpStatus::Optimal : MilpStatus::Feasible;
+    return result;
+  }
+  if (open.empty() && !any_lp_feasible) {
+    result.status = MilpStatus::Infeasible;
+    return result;
+  }
+  result.status = open.empty() ? MilpStatus::Infeasible : MilpStatus::Limit;
+  return result;
+}
+
+}  // namespace syccl::milp

@@ -1,0 +1,56 @@
+// Mixed-integer linear programming by LP-based branch and bound.
+//
+// This module plays the role of the commercial MILP solver (Gurobi) in the
+// paper's pipeline. Best-first search over LP relaxations, branching on the
+// most fractional integer variable. A warm-start incumbent (from the greedy
+// scheduler, §5.3) both bounds the search and guarantees a feasible answer
+// under node/time limits — mirroring how the paper runs Gurobi with a
+// timeout and keeps the best incumbent.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace syccl::milp {
+
+struct MilpProblem {
+  lp::Problem lp;
+  /// is_integer[v] — variable v must take an integer value.
+  std::vector<bool> is_integer;
+};
+
+struct MilpOptions {
+  double time_limit_s = 5.0;
+  long node_limit = 20000;
+  double int_tol = 1e-6;
+  /// Relative optimality gap at which search stops.
+  double gap_tol = 1e-6;
+  long lp_iteration_limit = 20000;
+};
+
+enum class MilpStatus {
+  Optimal,     ///< proven within gap_tol
+  Feasible,    ///< incumbent found, limits hit before proof
+  Infeasible,  ///< no integer-feasible point exists
+  Unbounded,
+  Limit,       ///< limits hit with no incumbent
+};
+
+struct MilpSolution {
+  MilpStatus status = MilpStatus::Limit;
+  double objective = 0.0;
+  std::vector<double> x;
+  long nodes_explored = 0;
+  /// Best LP lower bound at termination (for gap reporting).
+  double best_bound = -lp::kInf;
+};
+
+/// Solves the MILP. `incumbent`, if given, must be integer-feasible; it
+/// seeds the upper bound.
+MilpSolution solve(const MilpProblem& problem, const MilpOptions& options = {},
+                   const std::optional<std::vector<double>>& incumbent = std::nullopt);
+
+}  // namespace syccl::milp

@@ -1,0 +1,88 @@
+#include "profiler/profiler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "coll/collective.h"
+#include "sim/schedule.h"
+#include "sim/simulator.h"
+
+namespace syccl::profiler {
+
+double measure_ping(const topo::TopologyGroups& groups, int dim, int group, double bytes) {
+  const topo::GroupTopology& gt = groups.group(dim, group);
+  if (gt.size() < 2) throw std::invalid_argument("group too small to ping");
+  const sim::Simulator sim(groups, sim::SimOptions{bytes + 1, 1});  // no pipelining
+
+  sim::Schedule s;
+  const int piece = s.add_piece(sim::Piece{0, bytes, gt.ranks[0], false, {}});
+  s.add_op(piece, gt.ranks[0], gt.ranks[1], dim);
+  return sim.run(s).makespan;
+}
+
+LinkProfile fit_alpha_beta(const std::vector<double>& sizes, const std::vector<double>& times) {
+  if (sizes.size() != times.size() || sizes.size() < 2) {
+    throw std::invalid_argument("fit needs at least two (size, time) samples");
+  }
+  const double n = static_cast<double>(sizes.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    sx += sizes[i];
+    sy += times[i];
+    sxx += sizes[i] * sizes[i];
+    sxy += sizes[i] * times[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-30) throw std::invalid_argument("degenerate size samples");
+  LinkProfile out;
+  out.beta = (n * sxy - sx * sy) / denom;
+  out.alpha = (sy - out.beta * sx) / n;
+  out.samples = static_cast<int>(sizes.size());
+
+  // R²
+  const double mean_t = sy / n;
+  double ss_tot = 0, ss_res = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double pred = out.alpha + out.beta * sizes[i];
+    ss_res += (times[i] - pred) * (times[i] - pred);
+    ss_tot += (times[i] - mean_t) * (times[i] - mean_t);
+  }
+  out.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return out;
+}
+
+std::vector<LinkProfile> profile_topology(const topo::Topology& topo,
+                                          const ProfilerOptions& options) {
+  const topo::TopologyGroups groups = topo::extract_groups(topo);
+  std::vector<double> sizes = options.probe_sizes;
+  if (sizes.empty()) {
+    for (double s = 1024.0; s <= 64.0 * 1024 * 1024; s *= 4) sizes.push_back(s);
+  }
+
+  std::vector<LinkProfile> out;
+  for (int d = 0; d < groups.num_dims(); ++d) {
+    // Representative pair: the first group with >= 2 members.
+    int gi = -1;
+    for (std::size_t g = 0; g < groups.dims[static_cast<std::size_t>(d)].groups.size(); ++g) {
+      if (groups.dims[static_cast<std::size_t>(d)].groups[g].size() >= 2) {
+        gi = static_cast<int>(g);
+        break;
+      }
+    }
+    if (gi < 0) continue;
+    std::vector<double> times;
+    for (double s : sizes) {
+      double total = 0.0;
+      for (int rep = 0; rep < std::max(1, options.repeats); ++rep) {
+        total += measure_ping(groups, d, gi, s);
+      }
+      times.push_back(total / std::max(1, options.repeats));
+    }
+    LinkProfile p = fit_alpha_beta(sizes, times);
+    p.dim = d;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace syccl::profiler

@@ -1,0 +1,45 @@
+// Network profiler (paper §6): measures the α/β parameters of each link
+// class by timing transfers of varying sizes and fitting the Hockney model,
+// exactly like TECCL's and TACCL's profilers — except the "measurements"
+// come from the simulator instead of a real fabric (see DESIGN.md
+// substitutions).
+#pragma once
+
+#include <vector>
+
+#include "topo/groups.h"
+#include "topo/topology.h"
+
+namespace syccl::profiler {
+
+struct LinkProfile {
+  int dim = -1;
+  double alpha = 0.0;  ///< fitted latency, seconds
+  double beta = 0.0;   ///< fitted reciprocal bandwidth, s/byte
+  /// Coefficient of determination of the least-squares fit.
+  double r_squared = 0.0;
+  int samples = 0;
+};
+
+struct ProfilerOptions {
+  /// Probe sizes in bytes (defaults to a 1 KB … 64 MB geometric sweep).
+  std::vector<double> probe_sizes;
+  /// Repetitions per size (timings are deterministic here, but a real
+  /// profiler averages; kept for interface fidelity).
+  int repeats = 3;
+};
+
+/// Measures one ping of `bytes` between two members of `group` and returns
+/// the transfer time (simulated; a real deployment would issue a SendRecv).
+double measure_ping(const topo::TopologyGroups& groups, int dim, int group, double bytes);
+
+/// Profiles every dimension of the topology: picks a representative GPU pair
+/// per dimension, sweeps probe sizes, and least-squares fits t = α + β·s.
+std::vector<LinkProfile> profile_topology(const topo::Topology& topo,
+                                          const ProfilerOptions& options = {});
+
+/// Least-squares fit of t = α + β·s; exposed for testing. Returns
+/// (alpha, beta, r²). Throws std::invalid_argument on fewer than 2 samples.
+LinkProfile fit_alpha_beta(const std::vector<double>& sizes, const std::vector<double>& times);
+
+}  // namespace syccl::profiler

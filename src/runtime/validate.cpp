@@ -1,0 +1,138 @@
+#include "runtime/validate.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace syccl::runtime {
+
+namespace {
+
+std::string fmt_op(std::size_t index, const sim::TransferOp& op) {
+  std::ostringstream os;
+  os << "op #" << index << " (piece " << op.piece << ", " << op.src << "->" << op.dst << ")";
+  return os.str();
+}
+
+}  // namespace
+
+ValidationReport validate_schedule(const sim::Schedule& schedule, const coll::Collective& coll,
+                                   const topo::TopologyGroups& groups) {
+  ValidationReport report;
+  report.traffic_per_dim.assign(static_cast<std::size_t>(groups.num_dims()), 0.0);
+  const int num_ranks = static_cast<int>(groups.group_of.front().size());
+
+  // Availability per (piece, rank); reduce contributor sets per (piece, rank).
+  std::set<std::pair<int, int>> have;
+  std::map<std::pair<int, int>, std::set<int>> contrib;
+  for (std::size_t pi = 0; pi < schedule.pieces.size(); ++pi) {
+    const sim::Piece& p = schedule.pieces[pi];
+    if (p.reduce) {
+      for (int c : p.contributors) {
+        if (c < 0 || c >= num_ranks) {
+          report.errors.push_back("piece contributor rank out of range");
+          continue;
+        }
+        have.insert({static_cast<int>(pi), c});
+        contrib[{static_cast<int>(pi), c}].insert(c);
+      }
+    } else {
+      if (p.origin < 0 || p.origin >= num_ranks) {
+        report.errors.push_back("piece origin rank out of range");
+        continue;
+      }
+      have.insert({static_cast<int>(pi), p.origin});
+    }
+  }
+
+  for (std::size_t oi = 0; oi < schedule.ops.size(); ++oi) {
+    const sim::TransferOp& op = schedule.ops[oi];
+    if (op.piece < 0 || static_cast<std::size_t>(op.piece) >= schedule.pieces.size()) {
+      report.errors.push_back(fmt_op(oi, op) + ": unknown piece");
+      continue;
+    }
+    if (op.src < 0 || op.src >= num_ranks || op.dst < 0 || op.dst >= num_ranks ||
+        op.src == op.dst) {
+      report.errors.push_back(fmt_op(oi, op) + ": bad endpoints");
+      continue;
+    }
+    const int dim = op.dim >= 0 ? op.dim : groups.best_common_dim(op.src, op.dst);
+    if (dim < 0 || dim >= groups.num_dims() ||
+        groups.group_of[static_cast<std::size_t>(dim)][static_cast<std::size_t>(op.src)] !=
+            groups.group_of[static_cast<std::size_t>(dim)][static_cast<std::size_t>(op.dst)] ||
+        groups.group_of[static_cast<std::size_t>(dim)][static_cast<std::size_t>(op.src)] < 0) {
+      report.errors.push_back(fmt_op(oi, op) + ": endpoints share no group in dimension " +
+                              std::to_string(dim));
+      continue;
+    }
+    if (have.count({op.piece, op.src}) == 0) {
+      report.errors.push_back(fmt_op(oi, op) + ": source does not hold the piece yet");
+      continue;
+    }
+    const sim::Piece& p = schedule.pieces[static_cast<std::size_t>(op.piece)];
+    if (!p.reduce && have.count({op.piece, op.dst}) != 0) {
+      report.warnings.push_back(fmt_op(oi, op) + ": redundant delivery (bandwidth waste)");
+    }
+    have.insert({op.piece, op.dst});
+    if (p.reduce) {
+      auto& dst_set = contrib[{op.piece, op.dst}];
+      const auto& src_set = contrib[{op.piece, op.src}];
+      dst_set.insert(src_set.begin(), src_set.end());
+    }
+    report.traffic_per_dim[static_cast<std::size_t>(dim)] += p.bytes;
+    report.total_traffic += p.bytes;
+  }
+
+  // Demand coverage.
+  const double chunk_bytes = coll.chunk_bytes();
+  std::map<int, std::vector<int>> pieces_by_chunk;
+  for (std::size_t pi = 0; pi < schedule.pieces.size(); ++pi) {
+    pieces_by_chunk[schedule.pieces[pi].chunk].push_back(static_cast<int>(pi));
+  }
+  auto covered = [&](int chunk, int dst, const std::set<int>* need_contrib) {
+    const auto it = pieces_by_chunk.find(chunk);
+    if (it == pieces_by_chunk.end()) return false;
+    double bytes = 0.0;
+    for (int pi : it->second) {
+      if (have.count({pi, dst}) == 0) continue;
+      if (need_contrib != nullptr) {
+        const auto cit = contrib.find({pi, dst});
+        if (cit == contrib.end() ||
+            !std::includes(cit->second.begin(), cit->second.end(), need_contrib->begin(),
+                           need_contrib->end())) {
+          continue;
+        }
+      }
+      bytes += schedule.pieces[static_cast<std::size_t>(pi)].bytes;
+    }
+    return bytes + 1e-6 >= chunk_bytes;
+  };
+
+  if (!coll.reduce()) {
+    for (std::size_t c = 0; c < coll.chunks().size(); ++c) {
+      for (int d : coll.chunks()[c].dsts) {
+        if (!covered(static_cast<int>(c), d, nullptr)) {
+          report.errors.push_back("demand unmet: chunk " + std::to_string(c) + " at rank " +
+                                  std::to_string(d));
+        }
+      }
+    }
+  } else {
+    std::map<int, std::set<int>> contributors_by_dst;
+    for (const auto& c : coll.chunks()) {
+      for (int d : c.dsts) contributors_by_dst[d].insert(c.src);
+    }
+    for (auto& [dst, cs] : contributors_by_dst) {
+      cs.insert(dst);
+      if (!covered(dst, dst, &cs)) {
+        report.errors.push_back("reduce demand unmet at rank " + std::to_string(dst));
+      }
+    }
+  }
+
+  report.ok = report.errors.empty();
+  return report;
+}
+
+}  // namespace syccl::runtime

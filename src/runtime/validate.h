@@ -1,0 +1,34 @@
+// Structural schedule validation, independent of timing.
+//
+// The simulator already rejects dependency inversions and unmet demands; the
+// validator adds static checks and accounting that the executor path needs
+// before a schedule is shipped: demand coverage, redundant-delivery
+// detection, per-dimension traffic stats.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coll/collective.h"
+#include "sim/schedule.h"
+#include "topo/groups.h"
+
+namespace syccl::runtime {
+
+struct ValidationReport {
+  bool ok = false;
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;  ///< e.g. redundant deliveries
+  /// Bytes crossing each dimension's links.
+  std::vector<double> traffic_per_dim;
+  double total_traffic = 0.0;
+};
+
+/// Validates `schedule` against `coll` on `groups`: every op's endpoints
+/// must share the claimed dimension group, pieces must flow from their
+/// origins, every demand must be covered, and reduce pieces must gather all
+/// contributors. Never throws; problems land in the report.
+ValidationReport validate_schedule(const sim::Schedule& schedule, const coll::Collective& coll,
+                                   const topo::TopologyGroups& groups);
+
+}  // namespace syccl::runtime

@@ -1,0 +1,223 @@
+#include "runtime/xml.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace syccl::runtime {
+
+namespace {
+
+/// Minimal XML tokenizer for the dialect we emit: <tag a="v" ...> , </tag>,
+/// <tag ... />. No text nodes, comments or entities.
+struct Tag {
+  std::string name;
+  std::map<std::string, std::string> attrs;
+  bool closing = false;
+  bool self_closing = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  /// Next tag, or nullopt at end of input.
+  bool next(Tag& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    if (text_[pos_] != '<') throw std::invalid_argument("expected '<' in XML");
+    ++pos_;
+    out = Tag{};
+    if (peek() == '?') {  // declaration: skip to '>'
+      while (pos_ < text_.size() && text_[pos_] != '>') ++pos_;
+      ++pos_;
+      return next(out);
+    }
+    if (peek() == '/') {
+      out.closing = true;
+      ++pos_;
+    }
+    out.name = read_name();
+    for (;;) {
+      skip_ws();
+      if (peek() == '/') {
+        out.self_closing = true;
+        ++pos_;
+        skip_ws();
+      }
+      if (peek() == '>') {
+        ++pos_;
+        return true;
+      }
+      if (pos_ >= text_.size()) throw std::invalid_argument("unterminated tag");
+      const std::string key = read_name();
+      skip_ws();
+      if (peek() != '=') throw std::invalid_argument("expected '=' after attribute name");
+      ++pos_;
+      skip_ws();
+      if (peek() != '"') throw std::invalid_argument("expected '\"' around attribute value");
+      ++pos_;
+      std::string value;
+      while (pos_ < text_.size() && text_[pos_] != '"') value += text_[pos_++];
+      if (pos_ >= text_.size()) throw std::invalid_argument("unterminated attribute value");
+      ++pos_;
+      out.attrs[key] = value;
+    }
+  }
+
+ private:
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  std::string read_name() {
+    std::string name;
+    while (pos_ < text_.size() && (isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '_' || text_[pos_] == '-')) {
+      name += text_[pos_++];
+    }
+    if (name.empty()) throw std::invalid_argument("empty XML name");
+    return name;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+int attr_int(const Tag& tag, const std::string& key) {
+  const auto it = tag.attrs.find(key);
+  if (it == tag.attrs.end()) {
+    throw std::invalid_argument("missing attribute '" + key + "' on <" + tag.name + ">");
+  }
+  return std::stoi(it->second);
+}
+
+double attr_double(const Tag& tag, const std::string& key) {
+  const auto it = tag.attrs.find(key);
+  if (it == tag.attrs.end()) {
+    throw std::invalid_argument("missing attribute '" + key + "' on <" + tag.name + ">");
+  }
+  return std::stod(it->second);
+}
+
+}  // namespace
+
+std::string to_xml(const sim::Schedule& schedule, int num_ranks, const XmlOptions& options) {
+  std::ostringstream os;
+  const std::string& algo_name = options.name.empty() ? schedule.name : options.name;
+  os << "<algo name=\"" << algo_name << "\" proto=\"" << options.protocol
+     << "\" nchannels=\"" << options.channels << "\" ngpus=\"" << num_ranks << "\">\n";
+
+  os << "  <pieces count=\"" << schedule.pieces.size() << "\">\n";
+  for (std::size_t i = 0; i < schedule.pieces.size(); ++i) {
+    const sim::Piece& p = schedule.pieces[i];
+    os << "    <piece id=\"" << i << "\" chunk=\"" << p.chunk << "\" bytes=\"" << p.bytes
+       << "\" origin=\"" << p.origin << "\" reduce=\"" << (p.reduce ? 1 : 0) << "\"";
+    if (p.reduce) {
+      os << " contributors=\"";
+      for (std::size_t c = 0; c < p.contributors.size(); ++c) {
+        if (c != 0) os << ",";
+        os << p.contributors[c];
+      }
+      os << "\"";
+    }
+    os << " />\n";
+  }
+  os << "  </pieces>\n";
+
+  // Group ops per source GPU (threadblock programs), preserving global issue
+  // order via the step attribute.
+  std::map<int, std::vector<std::pair<int, const sim::TransferOp*>>> per_gpu;
+  for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
+    per_gpu[schedule.ops[i].src].push_back({static_cast<int>(i), &schedule.ops[i]});
+  }
+  for (int g = 0; g < num_ranks; ++g) {
+    const auto it = per_gpu.find(g);
+    os << "  <gpu id=\"" << g << "\">\n";
+    if (it != per_gpu.end()) {
+      os << "    <tb id=\"0\">\n";
+      for (const auto& [step, op] : it->second) {
+        os << "      <send step=\"" << step << "\" piece=\"" << op->piece << "\" dst=\""
+           << op->dst << "\" dim=\"" << op->dim << "\" phase=\"" << op->phase << "\" />\n";
+      }
+      os << "    </tb>\n";
+    }
+    os << "  </gpu>\n";
+  }
+  os << "</algo>\n";
+  return os.str();
+}
+
+sim::Schedule from_xml(const std::string& xml) {
+  Lexer lexer(xml);
+  Tag tag;
+  if (!lexer.next(tag) || tag.name != "algo") {
+    throw std::invalid_argument("XML does not start with <algo>");
+  }
+  sim::Schedule out;
+  const auto name_it = tag.attrs.find("name");
+  out.name = name_it != tag.attrs.end() ? name_it->second : "parsed";
+
+  int current_gpu = -1;
+  struct ParsedOp {
+    int step;
+    sim::TransferOp op;
+  };
+  std::vector<ParsedOp> ops;
+
+  while (lexer.next(tag)) {
+    if (tag.closing) continue;
+    if (tag.name == "piece") {
+      sim::Piece p;
+      const int id = attr_int(tag, "id");
+      p.chunk = attr_int(tag, "chunk");
+      p.bytes = attr_double(tag, "bytes");
+      p.origin = attr_int(tag, "origin");
+      p.reduce = attr_int(tag, "reduce") != 0;
+      const auto cit = tag.attrs.find("contributors");
+      if (cit != tag.attrs.end() && !cit->second.empty()) {
+        std::istringstream cs(cit->second);
+        std::string item;
+        while (std::getline(cs, item, ',')) p.contributors.push_back(std::stoi(item));
+      }
+      if (id != static_cast<int>(out.pieces.size())) {
+        throw std::invalid_argument("piece ids must be dense and ordered");
+      }
+      out.pieces.push_back(std::move(p));
+    } else if (tag.name == "gpu") {
+      current_gpu = attr_int(tag, "id");
+    } else if (tag.name == "send") {
+      if (current_gpu < 0) throw std::invalid_argument("<send> outside <gpu>");
+      ParsedOp po;
+      po.step = attr_int(tag, "step");
+      po.op.piece = attr_int(tag, "piece");
+      po.op.src = current_gpu;
+      po.op.dst = attr_int(tag, "dst");
+      po.op.dim = attr_int(tag, "dim");
+      po.op.phase = attr_int(tag, "phase");
+      ops.push_back(po);
+    } else if (tag.name == "pieces" || tag.name == "tb" || tag.name == "algo") {
+      // structural tags
+    } else {
+      throw std::invalid_argument("unexpected tag <" + tag.name + ">");
+    }
+  }
+
+  std::sort(ops.begin(), ops.end(),
+            [](const ParsedOp& a, const ParsedOp& b) { return a.step < b.step; });
+  for (const auto& po : ops) {
+    if (po.op.piece < 0 || static_cast<std::size_t>(po.op.piece) >= out.pieces.size()) {
+      throw std::invalid_argument("send references unknown piece");
+    }
+    out.ops.push_back(po.op);
+  }
+  return out;
+}
+
+}  // namespace syccl::runtime

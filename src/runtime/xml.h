@@ -1,0 +1,33 @@
+// MSCCL-style XML schedule emission and parsing (paper §6).
+//
+// The schedule executor in the paper converts synthesized schedules into XML
+// consumed by MSCCL-executor. We reproduce that artifact path: emit an
+// <algo> document with per-GPU <tb> (threadblock) programs of <send>/<recv>
+// steps, and parse it back for round-trip validation. The dialect follows
+// MSCCL's structure; runtime parameters (protocol, channel count) are
+// attributes on <algo>.
+#pragma once
+
+#include <string>
+
+#include "sim/schedule.h"
+
+namespace syccl::runtime {
+
+struct XmlOptions {
+  /// Algorithm name; empty = use the schedule's own name.
+  std::string name;
+  std::string protocol = "Simple";  ///< MSCCL protocol hint (Simple/LL/LL128)
+  int channels = 1;                 ///< communication channels
+};
+
+/// Serialises a schedule to MSCCL-style XML. `num_ranks` bounds the GPU
+/// list; ops are grouped per source GPU into threadblocks in issue order.
+std::string to_xml(const sim::Schedule& schedule, int num_ranks, const XmlOptions& options = {});
+
+/// Parses XML produced by to_xml back into a schedule. Throws
+/// std::invalid_argument on malformed documents. Round-trip guarantee:
+/// parse(to_xml(s)) preserves pieces, op endpoints and per-port op order.
+sim::Schedule from_xml(const std::string& xml);
+
+}  // namespace syccl::runtime

@@ -1,0 +1,96 @@
+#include "sim/analyze.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace syccl::sim {
+
+ScheduleStats analyze_schedule(const Schedule& schedule, const topo::TopologyGroups& groups,
+                               const SimOptions& options) {
+  ScheduleStats stats;
+  stats.num_ops = schedule.ops.size();
+  stats.num_pieces = schedule.pieces.size();
+  stats.traffic_per_dim.assign(static_cast<std::size_t>(groups.num_dims()), 0.0);
+
+  std::map<int, double> egress;   // up-port bottleneck link id → bytes
+  std::map<int, double> ingress;  // down-port bottleneck link id → bytes
+  std::map<int, double> port_beta;
+  std::map<std::pair<int, int>, int> depth;  // (piece, rank) → relay depth
+
+  for (std::size_t pi = 0; pi < schedule.pieces.size(); ++pi) {
+    const Piece& p = schedule.pieces[pi];
+    if (p.reduce) {
+      for (int c : p.contributors) depth[{static_cast<int>(pi), c}] = 0;
+    } else if (p.origin >= 0) {
+      depth[{static_cast<int>(pi), p.origin}] = 0;
+    }
+  }
+
+  for (const TransferOp& op : schedule.ops) {
+    const int dim = op.dim >= 0 ? op.dim : groups.best_common_dim(op.src, op.dst);
+    if (dim < 0 || dim >= groups.num_dims()) {
+      throw std::invalid_argument("op endpoints share no dimension group");
+    }
+    const auto& gt = groups.group(
+        dim, groups.group_of[static_cast<std::size_t>(dim)][static_cast<std::size_t>(op.src)]);
+    const int ls = gt.local_of(op.src);
+    const int ld = gt.local_of(op.dst);
+    const double bytes = schedule.pieces[static_cast<std::size_t>(op.piece)].bytes;
+
+    stats.traffic_per_dim[static_cast<std::size_t>(dim)] += bytes;
+    stats.total_traffic += bytes;
+    const auto& up = gt.up[static_cast<std::size_t>(ls)];
+    const auto& down = gt.down[static_cast<std::size_t>(ld)];
+    egress[up.port_id] += bytes;
+    ingress[down.port_id] += bytes;
+    port_beta[up.port_id] = up.beta;
+    port_beta[down.port_id] = down.beta;
+
+    const auto sit = depth.find({op.piece, op.src});
+    const int d = (sit != depth.end() ? sit->second : 0) + 1;
+    auto [dit, inserted] = depth.try_emplace({op.piece, op.dst}, d);
+    if (!inserted) dit->second = std::min(dit->second, d);
+    stats.max_relay_depth = std::max(stats.max_relay_depth, d);
+  }
+
+  for (const auto& [port, bytes] : egress) {
+    (void)port;
+    stats.max_port_egress = std::max(stats.max_port_egress, bytes);
+  }
+  for (const auto& [port, bytes] : ingress) {
+    (void)port;
+    stats.max_port_ingress = std::max(stats.max_port_ingress, bytes);
+  }
+
+  const Simulator sim(groups, options);
+  stats.makespan = sim.run(schedule).makespan;
+  if (stats.makespan > 0) {
+    double worst_busy = 0.0;
+    for (const auto& [port, bytes] : egress) {
+      worst_busy = std::max(worst_busy, bytes * port_beta[port]);
+    }
+    for (const auto& [port, bytes] : ingress) {
+      worst_busy = std::max(worst_busy, bytes * port_beta[port]);
+    }
+    stats.bottleneck_utilisation = std::min(1.0, worst_busy / stats.makespan);
+  }
+  return stats;
+}
+
+std::string format_stats(const ScheduleStats& stats) {
+  std::ostringstream os;
+  os << stats.num_ops << " ops over " << stats.num_pieces << " pieces, "
+     << stats.total_traffic / 1e6 << " MB total\n";
+  os << "traffic per dimension (MB):";
+  for (double t : stats.traffic_per_dim) os << " " << t / 1e6;
+  os << "\n";
+  os << "hottest port: " << stats.max_port_egress / 1e6 << " MB out, "
+     << stats.max_port_ingress / 1e6 << " MB in; relay depth " << stats.max_relay_depth << "\n";
+  os << "makespan " << stats.makespan * 1e3 << " ms, bottleneck utilisation "
+     << stats.bottleneck_utilisation * 100 << "%";
+  return os.str();
+}
+
+}  // namespace syccl::sim

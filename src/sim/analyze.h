@@ -1,0 +1,41 @@
+// Schedule analysis: the numbers an operator looks at before shipping a
+// schedule — traffic split across dimensions, per-port hot spots, relay
+// depth, and simulated utilisation. Complements runtime/validate (semantic
+// checks) and the simulator (timing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/schedule.h"
+#include "sim/simulator.h"
+#include "topo/groups.h"
+
+namespace syccl::sim {
+
+struct ScheduleStats {
+  std::size_t num_ops = 0;
+  std::size_t num_pieces = 0;
+  /// Bytes crossing each dimension's links.
+  std::vector<double> traffic_per_dim;
+  double total_traffic = 0.0;
+  /// Heaviest single directed-port load in bytes, per direction.
+  double max_port_egress = 0.0;
+  double max_port_ingress = 0.0;
+  /// Longest piece relay chain (hops from the piece's origin).
+  int max_relay_depth = 0;
+  /// Simulated completion time and the busy fraction of the most-loaded
+  /// port class over that window (1.0 = perfectly pipelined bottleneck).
+  double makespan = 0.0;
+  double bottleneck_utilisation = 0.0;
+};
+
+/// Computes schedule statistics; runs one simulation for the timing-derived
+/// fields. Throws like Simulator::run on malformed schedules.
+ScheduleStats analyze_schedule(const Schedule& schedule, const topo::TopologyGroups& groups,
+                               const SimOptions& options = {});
+
+/// Multi-line human-readable rendering of the stats.
+std::string format_stats(const ScheduleStats& stats);
+
+}  // namespace syccl::sim

@@ -1,0 +1,72 @@
+#include "sim/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace syccl::sim {
+
+int Schedule::add_piece(Piece piece) {
+  pieces.push_back(std::move(piece));
+  return static_cast<int>(pieces.size()) - 1;
+}
+
+void Schedule::add_op(int piece, int src, int dst, int dim, int phase) {
+  if (piece < 0 || static_cast<std::size_t>(piece) >= pieces.size()) {
+    throw std::out_of_range("op references unknown piece");
+  }
+  if (src == dst) throw std::invalid_argument("op src == dst");
+  ops.push_back(TransferOp{piece, src, dst, dim, phase});
+}
+
+void Schedule::append_sequential(const Schedule& tail) {
+  int max_phase = 0;
+  for (const auto& op : ops) max_phase = std::max(max_phase, op.phase);
+  const int base_piece = static_cast<int>(pieces.size());
+  pieces.insert(pieces.end(), tail.pieces.begin(), tail.pieces.end());
+  for (const auto& op : tail.ops) {
+    TransferOp shifted = op;
+    shifted.piece += base_piece;
+    shifted.phase += max_phase + 1;
+    ops.push_back(shifted);
+  }
+}
+
+double Schedule::total_traffic() const {
+  double sum = 0.0;
+  for (const auto& op : ops) sum += pieces[static_cast<std::size_t>(op.piece)].bytes;
+  return sum;
+}
+
+std::vector<Piece> pieces_for(const coll::Collective& coll) {
+  std::vector<Piece> out;
+  if (!coll.reduce()) {
+    out.reserve(coll.chunks().size());
+    for (std::size_t i = 0; i < coll.chunks().size(); ++i) {
+      const auto& c = coll.chunks()[i];
+      out.push_back(Piece{static_cast<int>(i), coll.chunk_bytes(), c.src, false, {}});
+    }
+    return out;
+  }
+  // Reduce flows: one reduce piece per destination block, merging the
+  // contributions of every chunk that targets it (plus the destination's own
+  // partial).
+  std::map<int, std::vector<int>> contributors_by_dst;
+  for (const auto& c : coll.chunks()) {
+    for (int d : c.dsts) contributors_by_dst[d].push_back(c.src);
+  }
+  for (auto& [dst, contribs] : contributors_by_dst) {
+    contribs.push_back(dst);
+    std::sort(contribs.begin(), contribs.end());
+    Piece p;
+    p.chunk = dst;  // block index == destination rank for Reduce/ReduceScatter
+    p.bytes = coll.chunk_bytes();
+    p.origin = -1;
+    p.reduce = true;
+    p.contributors = contribs;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace syccl::sim

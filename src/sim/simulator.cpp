@@ -1,0 +1,359 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace syccl::sim {
+
+namespace {
+
+/// Bitset over ranks, used for reduce-contributor tracking.
+class RankSet {
+ public:
+  explicit RankSet(int num_ranks = 0) : words_((static_cast<std::size_t>(num_ranks) + 63) / 64) {}
+  void set(int r) { words_[static_cast<std::size_t>(r) / 64] |= 1ull << (r % 64); }
+  bool test(int r) const { return (words_[static_cast<std::size_t>(r) / 64] >> (r % 64)) & 1; }
+  void merge(const RankSet& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  }
+  bool contains_all(const std::vector<int>& ranks) const {
+    for (int r : ranks) {
+      if (!test(r)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+struct PieceState {
+  std::vector<double> block_arrival;  ///< per-block availability time
+  RankSet contributors;               ///< reduce pieces only
+  bool present = false;
+};
+
+using StateKey = std::uint64_t;
+
+StateKey key_of(int piece, int rank) {
+  return (static_cast<StateKey>(static_cast<std::uint32_t>(piece)) << 32) |
+         static_cast<std::uint32_t>(rank);
+}
+
+// Link busy-state is keyed by the directed physical link id, shared across
+// dimensions: a rail (dim 1) and a spine (dim 2) transfer from the same GPU
+// contend for the same NIC uplink.
+
+/// Busy intervals of one directed link, with earliest-gap allocation: a
+/// transfer that becomes ready while the link is idle may claim the gap even
+/// if an earlier-issued transfer is still waiting for its data — links
+/// arbitrate per packet, they do not head-of-line block on program order.
+class LinkTimeline {
+ public:
+  /// Allocates `dur` seconds starting no earlier than `ready`; returns the
+  /// start time.
+  double allocate(double ready, double dur) {
+    if (dur <= 0) return ready;
+    double t = ready;
+    // First interval that ends after t (candidates for conflict).
+    auto it = intervals_.upper_bound(t);
+    if (it != intervals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > t) t = prev->second;
+    }
+    while (it != intervals_.end() && it->first < t + dur) {
+      t = std::max(t, it->second);
+      ++it;
+    }
+    // Insert [t, t+dur), merging with touching neighbours.
+    double lo = t;
+    double hi = t + dur;
+    auto next = intervals_.lower_bound(lo);
+    if (next != intervals_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->second >= lo - 1e-18) {
+        lo = prev->first;
+        hi = std::max(hi, prev->second);
+        next = intervals_.erase(prev);
+      }
+    }
+    while (next != intervals_.end() && next->first <= hi + 1e-18) {
+      hi = std::max(hi, next->second);
+      next = intervals_.erase(next);
+    }
+    intervals_.emplace(lo, hi);
+    return t;
+  }
+
+ private:
+  std::map<double, double> intervals_;
+};
+
+struct Engine {
+  const topo::TopologyGroups& groups;
+  const SimOptions& opts;
+  const Schedule& schedule;
+  int num_ranks;
+
+  std::unordered_map<StateKey, PieceState> state;
+  std::unordered_map<StateKey, LinkTimeline> port_busy;
+  SimResult result;
+
+  Engine(const topo::TopologyGroups& g, const SimOptions& o, const Schedule& s)
+      : groups(g), opts(o), schedule(s) {
+    num_ranks = groups.group_of.empty()
+                    ? 0
+                    : static_cast<int>(groups.group_of.front().size());
+  }
+
+  int blocks_for(double bytes) const {
+    const int nb = static_cast<int>(std::ceil(bytes / std::max(1.0, opts.block_bytes)));
+    return std::clamp(nb, 1, std::max(1, opts.max_blocks));
+  }
+
+  PieceState& state_at(int piece, int rank) {
+    auto [it, inserted] = state.try_emplace(key_of(piece, rank));
+    if (inserted) {
+      const Piece& p = schedule.pieces[static_cast<std::size_t>(piece)];
+      const int nb = blocks_for(p.bytes);
+      PieceState& ps = it->second;
+      ps.contributors = RankSet(num_ranks);
+      if (!p.reduce && p.origin == rank) {
+        ps.block_arrival.assign(static_cast<std::size_t>(nb), 0.0);
+        ps.present = true;
+      } else if (p.reduce &&
+                 std::binary_search(p.contributors.begin(), p.contributors.end(), rank)) {
+        ps.block_arrival.assign(static_cast<std::size_t>(nb), 0.0);
+        ps.present = true;
+        ps.contributors.set(rank);
+      } else {
+        ps.block_arrival.assign(static_cast<std::size_t>(nb),
+                                std::numeric_limits<double>::infinity());
+      }
+    }
+    return it->second;
+  }
+
+  void run() {
+    result.op_start.assign(schedule.ops.size(), 0.0);
+    result.op_finish.assign(schedule.ops.size(), 0.0);
+
+    // Ops are processed phase by phase with a barrier between phases; inside
+    // a phase, issue order is the per-port order.
+    std::vector<std::size_t> order(schedule.ops.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return schedule.ops[a].phase < schedule.ops[b].phase;
+    });
+
+    double phase_floor = 0.0;
+    double phase_max = 0.0;
+    int current_phase = order.empty() ? 0 : schedule.ops[order.front()].phase;
+
+    for (std::size_t idx : order) {
+      const TransferOp& op = schedule.ops[idx];
+      if (op.phase != current_phase) {
+        phase_floor = phase_max;
+        current_phase = op.phase;
+      }
+      const double finish = run_op(idx, phase_floor);
+      phase_max = std::max(phase_max, finish);
+      result.op_finish[idx] = finish;
+      result.makespan = std::max(result.makespan, finish);
+    }
+  }
+
+  double run_op(std::size_t idx, double phase_floor) {
+    const TransferOp& op = schedule.ops[idx];
+    const Piece& p = schedule.pieces[static_cast<std::size_t>(op.piece)];
+
+    int dim = op.dim;
+    if (dim < 0) dim = groups.best_common_dim(op.src, op.dst);
+    if (dim < 0 || dim >= groups.num_dims()) {
+      throw std::invalid_argument("op endpoints share no dimension group");
+    }
+    const int g_src = groups.group_of[static_cast<std::size_t>(dim)][static_cast<std::size_t>(op.src)];
+    const int g_dst = groups.group_of[static_cast<std::size_t>(dim)][static_cast<std::size_t>(op.dst)];
+    if (g_src < 0 || g_src != g_dst) {
+      throw std::invalid_argument("op crosses groups in dimension " + std::to_string(dim));
+    }
+    const topo::GroupTopology& gt = groups.group(dim, g_src);
+    const int ls = gt.local_of(op.src);
+    const int ld = gt.local_of(op.dst);
+
+    // Full physical path: src → group switch → dst.
+    std::vector<const topo::PathHop*> path;
+    for (const auto& h : gt.up_hops[static_cast<std::size_t>(ls)]) path.push_back(&h);
+    for (const auto& h : gt.down_hops[static_cast<std::size_t>(ld)]) path.push_back(&h);
+
+    PieceState& src_state = state_at(op.piece, op.src);
+    if (!src_state.present) {
+      throw std::invalid_argument("piece " + std::to_string(op.piece) +
+                                  " not available at op source rank " + std::to_string(op.src) +
+                                  " (dependency inversion?)");
+    }
+    // Capture source arrival times before touching dst state (the map may
+    // rehash on insertion).
+    const std::vector<double> src_arrival = src_state.block_arrival;
+    const RankSet src_contrib = src_state.contributors;
+
+    const int nb = blocks_for(p.bytes);
+    const double block_bytes = p.bytes / nb;
+
+    PieceState& dst_state = state_at(op.piece, op.dst);
+    double finish = 0.0;
+    double first_start = -1.0;
+    for (int b = 0; b < nb; ++b) {
+      // Cut-through per hop: the block's head advances after each hop's α,
+      // its tail after the slowest upstream hop drains; each directed link
+      // is occupied for β·b and serialises concurrent flows.
+      const double ready = std::max(src_arrival[static_cast<std::size_t>(b)], phase_floor);
+      double head = ready;
+      double tail = ready;
+      for (const topo::PathHop* hop : path) {
+        LinkTimeline& link = port_busy[static_cast<StateKey>(static_cast<std::uint32_t>(hop->link_id))];
+        const double occupy = block_bytes * hop->beta;
+        const double start = link.allocate(head, occupy);
+        if (first_start < 0) first_start = start;
+        head = start + hop->alpha;
+        tail = std::max(start + hop->alpha + occupy, tail + hop->alpha);
+        result.num_events++;
+      }
+      const double arrival = tail;
+      double& slot = dst_state.block_arrival[static_cast<std::size_t>(b)];
+      if (p.reduce) {
+        // Reduce: the block is usable downstream only once every inbound
+        // partial arrived.
+        slot = dst_state.present ? std::max(slot, arrival) : arrival;
+      } else {
+        slot = std::min(slot, arrival);
+      }
+      finish = std::max(finish, arrival);
+    }
+    result.op_start[static_cast<std::size_t>(idx)] = std::max(0.0, first_start);
+    dst_state.present = true;
+    if (p.reduce) {
+      dst_state.contributors.merge(src_contrib);
+    }
+    return finish;
+  }
+};
+
+}  // namespace
+
+Simulator::Simulator(const topo::TopologyGroups& groups, SimOptions opts)
+    : groups_(groups), opts_(opts) {
+  if (opts_.block_bytes <= 0) throw std::invalid_argument("block_bytes must be positive");
+  if (opts_.max_blocks < 1) throw std::invalid_argument("max_blocks must be >= 1");
+}
+
+SimResult Simulator::run(const Schedule& schedule) const {
+  Engine engine(groups_, opts_, schedule);
+  engine.run();
+  return engine.result;
+}
+
+double Simulator::tune_issue_order(Schedule& schedule, const coll::Collective& coll,
+                                   int passes) const {
+  double best = time_collective(schedule, coll);
+  for (int p = 0; p < passes; ++p) {
+    Engine engine(groups_, opts_, schedule);
+    engine.run();
+    std::vector<std::size_t> idx(schedule.ops.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      if (schedule.ops[a].phase != schedule.ops[b].phase) {
+        return schedule.ops[a].phase < schedule.ops[b].phase;
+      }
+      return engine.result.op_start[a] < engine.result.op_start[b];
+    });
+    Schedule candidate = schedule;
+    candidate.ops.clear();
+    for (std::size_t i : idx) candidate.ops.push_back(schedule.ops[i]);
+    double t;
+    try {
+      t = time_collective(candidate, coll);
+    } catch (const std::exception&) {
+      break;  // reorder broke a dependency (shouldn't happen); keep current
+    }
+    if (t < best) {
+      best = t;
+      schedule = std::move(candidate);
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+double Simulator::time_collective(const Schedule& schedule, const coll::Collective& coll) const {
+  Engine engine(groups_, opts_, schedule);
+  engine.run();
+
+  // Demand check: every chunk must be fully present at each destination.
+  // With chunk splitting, the distinct pieces of one chunk at a destination
+  // must cover the chunk's bytes.
+  double completion = 0.0;
+  const double chunk_bytes = coll.chunk_bytes();
+  constexpr double kEps = 1e-6;
+
+  // Index pieces by chunk.
+  std::unordered_map<int, std::vector<int>> pieces_by_chunk;
+  for (std::size_t i = 0; i < schedule.pieces.size(); ++i) {
+    pieces_by_chunk[schedule.pieces[i].chunk].push_back(static_cast<int>(i));
+  }
+
+  auto demand_time = [&](int chunk, int dst, bool reduce,
+                         const std::vector<int>* contributors) -> double {
+    const auto it = pieces_by_chunk.find(chunk);
+    if (it == pieces_by_chunk.end()) {
+      throw std::invalid_argument("schedule has no pieces for chunk " + std::to_string(chunk));
+    }
+    double covered = 0.0;
+    double when = 0.0;
+    for (int pid : it->second) {
+      const auto st = engine.state.find(key_of(pid, dst));
+      if (st == engine.state.end() || !st->second.present) continue;
+      if (reduce && contributors != nullptr &&
+          !st->second.contributors.contains_all(*contributors)) {
+        continue;
+      }
+      covered += schedule.pieces[static_cast<std::size_t>(pid)].bytes;
+      for (double t : st->second.block_arrival) when = std::max(when, t);
+    }
+    if (covered + kEps < chunk_bytes) {
+      throw std::invalid_argument("demand unmet: chunk " + std::to_string(chunk) +
+                                  " at rank " + std::to_string(dst) + " covered " +
+                                  std::to_string(covered) + "/" + std::to_string(chunk_bytes));
+    }
+    return when;
+  };
+
+  if (!coll.reduce()) {
+    for (std::size_t c = 0; c < coll.chunks().size(); ++c) {
+      for (int d : coll.chunks()[c].dsts) {
+        completion = std::max(completion, demand_time(static_cast<int>(c), d, false, nullptr));
+      }
+    }
+    return completion;
+  }
+
+  // Reduce collectives: block index == destination rank (see pieces_for).
+  std::unordered_map<int, std::vector<int>> contributors_by_dst;
+  for (const auto& c : coll.chunks()) {
+    for (int d : c.dsts) contributors_by_dst[d].push_back(c.src);
+  }
+  for (auto& [dst, contribs] : contributors_by_dst) {
+    contribs.push_back(dst);
+    std::sort(contribs.begin(), contribs.end());
+    completion = std::max(completion, demand_time(dst, dst, true, &contribs));
+  }
+  return completion;
+}
+
+}  // namespace syccl::sim

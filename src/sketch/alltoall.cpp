@@ -1,0 +1,80 @@
+#include "sketch/alltoall.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sketch/replicate.h"
+#include "util/log.h"
+
+namespace syccl::sketch {
+
+std::vector<Sketch> select_prototypes(std::vector<Sketch> sketches,
+                                      const topo::TopologyGroups& groups, int max_count) {
+  // Rank by β-weighted traffic: the workload each dimension carries times
+  // its (relative) per-byte cost — a cheap proxy for bandwidth efficiency.
+  // Ties favour fewer stages (lower latency).
+  std::vector<double> dim_beta;
+  double beta_min = 1e300;
+  for (const auto& d : groups.dims) {
+    const double b = d.groups.front().up.front().beta;
+    dim_beta.push_back(b);
+    beta_min = std::min(beta_min, b);
+  }
+  auto score = [&](const Sketch& s) {
+    double total = 0.0;
+    const auto w = s.dim_workload(groups);
+    for (std::size_t d = 0; d < w.size(); ++d) total += w[d] * dim_beta[d] / beta_min;
+    return total;
+  };
+  std::stable_sort(sketches.begin(), sketches.end(), [&](const Sketch& a, const Sketch& b) {
+    const double sa = score(a);
+    const double sb = score(b);
+    if (sa != sb) return sa < sb;
+    return a.num_stages() < b.num_stages();
+  });
+  std::set<std::string> profiles;
+  std::vector<Sketch> out;
+  for (auto& s : sketches) {
+    std::string profile;
+    for (double w : s.dim_workload(groups)) {
+      profile += std::to_string(static_cast<long long>(w * 1000)) + ",";
+    }
+    if (!profiles.insert(profile).second) continue;
+    out.push_back(std::move(s));
+    if (static_cast<int>(out.size()) >= max_count) break;
+  }
+  return out;
+}
+
+std::vector<SketchCombination> generate_rooted_combinations(const topo::TopologyGroups& groups,
+                                                            int root, RootedPattern pattern,
+                                                            const AllToAllConfig& config) {
+  const auto sketches = search_sketches(groups, root, pattern, config.search);
+  const auto prototypes = select_prototypes(sketches, groups, config.max_prototypes);
+  std::vector<SketchCombination> balanced;
+  for (const auto& s : prototypes) {
+    balanced.push_back(balance_across_groups(s, groups));
+  }
+  return generate_combinations(balanced, groups, config.combine);
+}
+
+std::vector<SketchCombination> generate_alltoall_combinations(
+    const topo::TopologyGroups& groups, RootedPattern pattern, const AllToAllConfig& config) {
+  // Search once for the prototype rooted at rank 0 (§4.3), replicate to all
+  // roots, then integrate across dimensions.
+  const auto sketches = search_sketches(groups, 0, pattern, config.search);
+  const auto prototypes = select_prototypes(sketches, groups, config.max_prototypes);
+
+  std::vector<SketchCombination> balanced;
+  for (const auto& s : prototypes) {
+    try {
+      const SketchCombination proto = balance_across_groups(s, groups);
+      balanced.push_back(replicate_for_all_roots(proto, groups));
+    } catch (const std::runtime_error& e) {
+      SYCCL_DEBUG << "dropping sketch family: " << e.what();
+    }
+  }
+  return generate_combinations(balanced, groups, config.combine);
+}
+
+}  // namespace syccl::sketch

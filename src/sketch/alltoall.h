@@ -1,0 +1,44 @@
+// All-to-all sketch generation (paper §4.3).
+//
+// An N-GPU all-to-all collective decomposes into N isomorphic rooted
+// collectives. SyCCL searches sketches once for the prototype rooted at one
+// GPU, balances each across groups (§4.2 step 1), replicates to all N roots,
+// then integrates the resulting N-sketch combinations across dimensions
+// (§4.2 step 2).
+#pragma once
+
+#include <vector>
+
+#include "sketch/combine.h"
+#include "sketch/search.h"
+#include "sketch/sketch.h"
+
+namespace syccl::sketch {
+
+struct AllToAllConfig {
+  SearchConfig search;
+  CombineConfig combine;
+  /// Number of searched prototype sketches carried into replication (the
+  /// best few by workload diversity; more = bigger candidate pool).
+  int max_prototypes = 6;
+};
+
+/// Generates candidate combinations for an all-to-all collective whose
+/// decomposed rooted pattern is `pattern` (Broadcast for AllGather, Scatter
+/// for AllToAll, Broadcast-reversed for ReduceScatter). Every returned
+/// combination covers all N roots.
+std::vector<SketchCombination> generate_alltoall_combinations(
+    const topo::TopologyGroups& groups, RootedPattern pattern, const AllToAllConfig& config = {});
+
+/// Generates candidate combinations for a single rooted collective at
+/// `root` (§4.1–4.2 only, no root replication).
+std::vector<SketchCombination> generate_rooted_combinations(const topo::TopologyGroups& groups,
+                                                            int root, RootedPattern pattern,
+                                                            const AllToAllConfig& config = {});
+
+/// Keeps a diverse subset of searched sketches: one per distinct
+/// per-dimension workload profile, favouring fewer stages (lower latency).
+std::vector<Sketch> select_prototypes(std::vector<Sketch> sketches,
+                                      const topo::TopologyGroups& groups, int max_count);
+
+}  // namespace syccl::sketch

@@ -1,0 +1,66 @@
+// Sketch replication (paper §4.2 step 1 and §4.3).
+//
+// Replication maps a sketch onto the topology's symmetry: group mapping
+// H_d : G_d → G_d and GPU mapping F : V → V, built stage by stage. Source
+// GPUs keep their (already established) images; destination GPUs that act as
+// sources later are steered into the group with the least accumulated
+// workload in the dimension they will send on, which is exactly what
+// balances load across isomorphic groups (Fig. 10).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sketch/sketch.h"
+
+namespace syccl::sketch {
+
+/// Workload accumulator: [dim][group] load shaped like `groups`.
+using WorkloadMatrix = std::vector<std::vector<double>>;
+
+WorkloadMatrix zero_workload(const topo::TopologyGroups& groups);
+void add_workload(WorkloadMatrix& acc, const WorkloadMatrix& w);
+
+/// Group- plus rank-level load state used to steer replication. The rank
+/// vector breaks ties *inside* a group: without it every replica funnels its
+/// relay traffic through the same member GPU (and thus the same NIC).
+struct WorkloadState {
+  WorkloadMatrix groups;
+  /// ranks[dim][rank] — receptions of `rank` in dimension `dim` (a crossing
+  /// reception loads that rank's port in that dimension).
+  std::vector<std::vector<double>> ranks;
+
+  explicit WorkloadState(const topo::TopologyGroups& g);
+  void add_sketch(const Sketch& sketch, const topo::TopologyGroups& g);
+};
+
+/// Replicates `sketch` with the root mapped to `new_root` (pass the original
+/// root for same-root replicas). Destination images are steered by `state`
+/// (not modified): least-loaded target group first, least-loaded rank within
+/// it second. Returns nullopt when no consistent mapping exists (sources of
+/// one sub-demand scattered across groups).
+std::optional<Sketch> replicate_sketch(const Sketch& sketch, const topo::TopologyGroups& groups,
+                                       const WorkloadState& state, int new_root,
+                                       bool steer_by_load = true);
+
+/// §4.2 step 1: replicates `sketch` (same root) until the workload is
+/// balanced across the groups of every dimension the sketch family touches,
+/// or `max_replicas` is reached. Fractions are set to 1/|C|.
+SketchCombination balance_across_groups(const Sketch& sketch, const topo::TopologyGroups& groups,
+                                        int max_replicas = 64);
+
+/// Maps a sketch through the topology automorphism that rotates the root to
+/// `new_root` (server index and intra-server index shift uniformly).
+/// Returns nullopt when the topology is irregular (unequal server sizes) or
+/// a mapped sub-demand leaves its group.
+std::optional<Sketch> rotate_sketch(const Sketch& sketch, const topo::TopologyGroups& groups,
+                                    int new_root);
+
+/// §4.3: replicates every sketch of a rooted combination for every root,
+/// yielding the all-to-all combination (per-root fractions preserved).
+/// Rotation (the exact automorphism — uniform by construction) is tried
+/// first; load-steered replication is the fallback for irregular cases.
+SketchCombination replicate_for_all_roots(const SketchCombination& proto,
+                                          const topo::TopologyGroups& groups);
+
+}  // namespace syccl::sketch

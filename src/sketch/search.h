@@ -1,0 +1,46 @@
+// Enumeration-based sketch search (paper §4.1).
+//
+// Depth-first over stages: each stage activates a subset of dimensions; in
+// every activated dimension, each group containing an eligible source fills
+// `c` of its still-uncovered members (c swept over a geometric ladder plus
+// "all", or every count in exhaustive mode). Sources are all holders of a
+// group whose root path has not crossed the dimension yet — giving the tree
+// property and "each dimension at most once per path" for free.
+//
+// Destinations inside a group are picked canonically (lowest uncovered
+// rank); the replication pass (§4.2) later remaps them to balance load, so
+// canonical choice loses no generality while slashing the search space.
+#pragma once
+
+#include <vector>
+
+#include "sketch/sketch.h"
+
+namespace syccl::sketch {
+
+struct SearchConfig {
+  /// K limit on sketch stages.
+  int max_stages = 4;
+  /// Pruning #3: maximum root-path hops. -1 → |D| for Broadcast, |D|−1
+  /// (min 1) for Scatter.
+  int max_hops = -1;
+  /// Pruning #1 (isomorphism dedup) toggle.
+  bool prune_isomorphic = true;
+  /// Pruning #2 (cross-group consistency) toggle.
+  bool prune_consistency = true;
+  /// Sweep every destination count instead of the {1,2,4,…,all} ladder.
+  bool exhaustive_counts = false;
+  /// Result cap (distinct sketches).
+  int max_sketches = 64;
+  /// DFS node budget (safety valve on pathological topologies).
+  long node_budget = 200000;
+};
+
+/// Searches sketches delivering `root`'s data to every other rank.
+/// Returns at least one sketch for any tier-structured topology (a pure
+/// dimension-ordered hierarchical sketch always exists); throws
+/// std::runtime_error if the search cannot cover all ranks within limits.
+std::vector<Sketch> search_sketches(const topo::TopologyGroups& groups, int root,
+                                    RootedPattern pattern, const SearchConfig& config = {});
+
+}  // namespace syccl::sketch

@@ -1,0 +1,132 @@
+#include "solver/epoch_model.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace syccl::solver {
+
+std::string SubDemand::isomorphism_key() const {
+  // The key is the demand structure in local indices plus the group
+  // signature. Two demands with the same key on positionally isomorphic
+  // groups accept the same schedule (with local indices re-interpreted).
+  std::ostringstream os;
+  os << (group != nullptr ? group->signature() : "?") << "#s=" << piece_bytes << "#";
+  std::vector<std::string> piece_keys;
+  for (const auto& p : pieces) {
+    std::ostringstream ps;
+    std::vector<int> src = p.srcs;
+    std::sort(src.begin(), src.end());
+    for (int x : src) ps << x << ",";
+    ps << ":";
+    std::vector<int> d = p.dsts;
+    std::sort(d.begin(), d.end());
+    for (int x : d) ps << x << ",";
+    piece_keys.push_back(ps.str());
+  }
+  std::sort(piece_keys.begin(), piece_keys.end());
+  for (const auto& k : piece_keys) os << k << ";";
+  return os.str();
+}
+
+void SubDemand::validate() const {
+  if (group == nullptr) throw std::invalid_argument("sub-demand without group");
+  if (pieces.empty()) throw std::invalid_argument("sub-demand without pieces");
+  if (piece_bytes <= 0) throw std::invalid_argument("sub-demand piece_bytes must be positive");
+  const int n = group->size();
+  for (const auto& p : pieces) {
+    if (p.srcs.empty()) throw std::invalid_argument("piece without sources");
+    for (int s : p.srcs) {
+      if (s < 0 || s >= n) throw std::invalid_argument("piece src out of group");
+    }
+    if (p.dsts.empty()) throw std::invalid_argument("piece without destinations");
+    for (int d : p.dsts) {
+      if (d < 0 || d >= n) throw std::invalid_argument("piece dst out of group");
+      for (int s : p.srcs) {
+        if (d == s) throw std::invalid_argument("piece dst equals src");
+      }
+    }
+  }
+}
+
+void check_sub_schedule(const SubDemand& demand, const SubSchedule& sched) {
+  demand.validate();
+  const topo::GroupTopology& g = *demand.group;
+  const int n = g.size();
+  const EpochParams& ep = sched.params;
+
+  // arrival[piece][local] = epoch at which the piece becomes usable.
+  std::map<std::pair<int, int>, int> arrival;
+  for (const auto& p : demand.pieces) {
+    for (int s : p.srcs) arrival[{p.id, s}] = 0;
+  }
+
+  // Port usage per (port id, direction, epoch).
+  std::map<std::tuple<int, int, int>, int> usage;
+
+  std::vector<SubOp> ops = sched.ops;
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const SubOp& a, const SubOp& b) { return a.start_epoch < b.start_epoch; });
+
+  for (const auto& op : ops) {
+    if (op.src < 0 || op.src >= n || op.dst < 0 || op.dst >= n) {
+      throw std::logic_error("sub-op endpoint outside group");
+    }
+    const auto it = arrival.find({op.piece, op.src});
+    if (it == arrival.end() || it->second > op.start_epoch) {
+      std::ostringstream os;
+      os << "sub-op sends piece " << op.piece << " from " << op.src << " at epoch "
+         << op.start_epoch << " before it is available";
+      throw std::logic_error(os.str());
+    }
+    const int up_port = g.up[static_cast<std::size_t>(op.src)].port_id;
+    const int down_port = g.down[static_cast<std::size_t>(op.dst)].port_id;
+    for (int o = 0; o < ep.occupancy; ++o) {
+      for (const auto& [port, dir] : {std::pair{up_port, 0}, std::pair{down_port, 1}}) {
+        int& u = usage[{port, dir, op.start_epoch + o}];
+        if (++u > ep.capacity) {
+          std::ostringstream os;
+          os << "port " << port << (dir == 0 ? " (up)" : " (down)") << " over capacity at epoch "
+             << op.start_epoch + o;
+          throw std::logic_error(os.str());
+        }
+      }
+    }
+    auto [dit, inserted] = arrival.try_emplace({op.piece, op.dst}, op.start_epoch + ep.lat_epochs);
+    if (!inserted) dit->second = std::min(dit->second, op.start_epoch + ep.lat_epochs);
+  }
+
+  int completion = 0;
+  for (const auto& p : demand.pieces) {
+    for (int d : p.dsts) {
+      const auto it = arrival.find({p.id, d});
+      if (it == arrival.end()) {
+        std::ostringstream os;
+        os << "demand unmet: piece " << p.id << " never reaches " << d;
+        throw std::logic_error(os.str());
+      }
+      completion = std::max(completion, it->second);
+    }
+  }
+  if (completion > sched.num_epochs) {
+    std::ostringstream os;
+    os << "schedule claims " << sched.num_epochs << " epochs but completes at " << completion;
+    throw std::logic_error(os.str());
+  }
+}
+
+SubSchedule remap_sub_schedule(const SubSchedule& sched, const std::vector<int>& mapping) {
+  SubSchedule out = sched;
+  for (auto& op : out.ops) {
+    if (op.src < 0 || static_cast<std::size_t>(op.src) >= mapping.size() || op.dst < 0 ||
+        static_cast<std::size_t>(op.dst) >= mapping.size()) {
+      throw std::invalid_argument("sub-op endpoint outside mapping");
+    }
+    op.src = mapping[static_cast<std::size_t>(op.src)];
+    op.dst = mapping[static_cast<std::size_t>(op.dst)];
+  }
+  return out;
+}
+
+}  // namespace syccl::solver

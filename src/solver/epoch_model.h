@@ -1,0 +1,80 @@
+// Epoch-based sub-demand scheduling model (paper §5.1 and Appendix A).
+//
+// A *sub-demand* is a set of equally sized pieces to move inside one GPU
+// group (the star abstraction of src/topo/groups.h): each piece starts at a
+// local source and is demanded by a set of local destinations. Time is
+// discretised into epochs of duration τ; each transmission occupies an
+// integer number of epochs (bandwidth constraint) and arrives after
+// ⌈(α+βs)/τ⌉ epochs (latency constraint).
+//
+// Two solvers operate on this model: the greedy list scheduler
+// (solver/greedy.h, the fast incumbent) and the MILP scheduler
+// (solver/milp_scheduler.h, the accurate one).
+#pragma once
+
+#include <vector>
+
+#include "topo/groups.h"
+
+namespace syccl::solver {
+
+/// One piece of a sub-demand, in group-local member indices. A piece may
+/// start on several members (merged sub-demands whose sources all hold it).
+struct DemandPiece {
+  int id = -1;
+  std::vector<int> srcs;
+  std::vector<int> dsts;
+};
+
+/// A merged sub-demand inside one group at one sketch stage (§5.1).
+struct SubDemand {
+  const topo::GroupTopology* group = nullptr;  ///< non-owning
+  std::vector<DemandPiece> pieces;
+  double piece_bytes = 0.0;
+
+  /// Structural key for isomorphism-class deduplication (§5.3): equal keys on
+  /// isomorphic groups ⇒ solutions are transferable by positional mapping.
+  std::string isomorphism_key() const;
+
+  /// Throws std::invalid_argument on malformed demands (bad locals, empty).
+  void validate() const;
+};
+
+/// Epoch discretisation derived from the E knob (Appendix A.3).
+struct EpochParams {
+  double tau = 0.0;     ///< epoch duration, seconds
+  double r = 1.0;       ///< τ = r·β·s with r or 1/r integer
+  int lat_epochs = 1;   ///< L = ⌈(α+βs)/τ⌉ epochs until the piece is usable
+  int capacity = 1;     ///< C = sends a port can start per epoch (r ≥ 1)
+  int occupancy = 1;    ///< O = epochs one send occupies a port (r < 1)
+};
+
+/// One scheduled transmission, in group-local indices.
+struct SubOp {
+  int piece = -1;
+  int src = -1;
+  int dst = -1;
+  int start_epoch = 0;
+};
+
+/// The solved sub-schedule for a sub-demand.
+struct SubSchedule {
+  std::vector<SubOp> ops;   ///< sorted by start_epoch
+  EpochParams params;
+  int num_epochs = 0;       ///< completion epoch of the demand
+  /// Model-estimated completion time = num_epochs · τ. The global simulator
+  /// (§5.2) recomputes real timing after merging.
+  double est_time() const { return num_epochs * params.tau; }
+};
+
+/// Verifies that `sched` satisfies `demand` under the epoch model: every
+/// destination receives every demanded piece, sources hold pieces before
+/// sending (L-epoch latency respected), port capacities never exceeded.
+/// Throws std::logic_error with a description on violation.
+void check_sub_schedule(const SubDemand& demand, const SubSchedule& sched);
+
+/// Remaps a sub-schedule onto an isomorphic group via a local-index mapping
+/// (identity-length permutation), used by isomorphism-class dedup (§5.3).
+SubSchedule remap_sub_schedule(const SubSchedule& sched, const std::vector<int>& mapping);
+
+}  // namespace syccl::solver

@@ -1,0 +1,126 @@
+#include "solver/greedy.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace syccl::solver {
+
+namespace {
+
+struct PieceState {
+  std::vector<int> holders;       ///< locals holding the piece (usable now)
+  std::vector<int> arriving_at;   ///< arrival epoch per local (-1 = never)
+  std::vector<bool> needed;       ///< still-unserved destinations
+  int remaining = 0;
+};
+
+}  // namespace
+
+SubSchedule solve_greedy(const SubDemand& demand, const EpochParams& params) {
+  demand.validate();
+  const topo::GroupTopology& g = *demand.group;
+  const int n = g.size();
+  const int np = static_cast<int>(demand.pieces.size());
+
+  std::vector<PieceState> state(static_cast<std::size_t>(np));
+  int total_remaining = 0;
+  for (int p = 0; p < np; ++p) {
+    PieceState& ps = state[static_cast<std::size_t>(p)];
+    ps.arriving_at.assign(static_cast<std::size_t>(n), -1);
+    ps.needed.assign(static_cast<std::size_t>(n), false);
+    const DemandPiece& dp = demand.pieces[static_cast<std::size_t>(p)];
+    for (int src : dp.srcs) ps.arriving_at[static_cast<std::size_t>(src)] = 0;
+    for (int d : dp.dsts) {
+      if (!ps.needed[static_cast<std::size_t>(d)]) {
+        ps.needed[static_cast<std::size_t>(d)] = true;
+        ++ps.remaining;
+        ++total_remaining;
+      }
+    }
+  }
+
+  // Port usage per (port, direction) per epoch, grown on demand.
+  std::map<std::pair<int, int>, std::vector<int>> usage;
+  auto port_free = [&](int port, int dir, int t, int occupancy, int capacity) {
+    auto& u = usage[{port, dir}];
+    if (static_cast<int>(u.size()) < t + occupancy) u.resize(static_cast<std::size_t>(t + occupancy), 0);
+    for (int o = 0; o < occupancy; ++o) {
+      if (u[static_cast<std::size_t>(t + o)] >= capacity) return false;
+    }
+    return true;
+  };
+  auto port_take = [&](int port, int dir, int t, int occupancy) {
+    auto& u = usage[{port, dir}];
+    for (int o = 0; o < occupancy; ++o) ++u[static_cast<std::size_t>(t + o)];
+  };
+
+  SubSchedule out;
+  out.params = params;
+
+  const long safety_epochs =
+      static_cast<long>(np) * n * std::max(params.occupancy, params.lat_epochs) + n + 16;
+
+  int completion = 0;
+  for (int t = 0; total_remaining > 0; ++t) {
+    if (t > safety_epochs) {
+      throw std::logic_error("greedy scheduler failed to converge (demand unreachable?)");
+    }
+    // Candidate sends this epoch: (piece, src holder, unserved dst). Order by
+    // criticality: pieces with the most unserved destinations first, then
+    // destinations that are sources of nothing — plain index order suffices
+    // for uniform groups, so we sort pieces by remaining demand only.
+    std::vector<int> piece_order(static_cast<std::size_t>(np));
+    for (int p = 0; p < np; ++p) piece_order[static_cast<std::size_t>(p)] = p;
+    std::stable_sort(piece_order.begin(), piece_order.end(), [&](int a, int b) {
+      return state[static_cast<std::size_t>(a)].remaining > state[static_cast<std::size_t>(b)].remaining;
+    });
+
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int p : piece_order) {
+        PieceState& ps = state[static_cast<std::size_t>(p)];
+        if (ps.remaining == 0) continue;
+        for (int d = 0; d < n && ps.remaining > 0; ++d) {
+          if (!ps.needed[static_cast<std::size_t>(d)]) continue;
+          const int down_port = g.down[static_cast<std::size_t>(d)].port_id;
+          if (!port_free(down_port, 1, t, params.occupancy, params.capacity)) continue;
+          // Pick a holder with free up-port; prefer the one that received
+          // the piece earliest (balances relay load deterministically).
+          int best_src = -1;
+          for (int s = 0; s < n; ++s) {
+            const int arr = ps.arriving_at[static_cast<std::size_t>(s)];
+            if (arr < 0 || arr > t || s == d) continue;
+            if (!port_free(g.up[static_cast<std::size_t>(s)].port_id, 0, t, params.occupancy,
+                           params.capacity)) {
+              continue;
+            }
+            if (best_src < 0 ||
+                arr < ps.arriving_at[static_cast<std::size_t>(best_src)]) {
+              best_src = s;
+            }
+          }
+          if (best_src < 0) continue;
+          port_take(g.up[static_cast<std::size_t>(best_src)].port_id, 0, t, params.occupancy);
+          port_take(down_port, 1, t, params.occupancy);
+          out.ops.push_back(SubOp{p, best_src, d, t});
+          ps.needed[static_cast<std::size_t>(d)] = false;
+          --ps.remaining;
+          --total_remaining;
+          const int arrival = t + params.lat_epochs;
+          ps.arriving_at[static_cast<std::size_t>(d)] = arrival;
+          completion = std::max(completion, arrival);
+          progress = true;
+        }
+      }
+    }
+  }
+
+  out.num_epochs = completion;
+  check_sub_schedule(demand, out);
+  return out;
+}
+
+}  // namespace syccl::solver

@@ -1,0 +1,274 @@
+#include "solver/milp_scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "milp/branch_and_bound.h"
+#include "solver/greedy.h"
+#include "solver/tau.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+namespace syccl::solver {
+
+namespace {
+
+/// Variable bookkeeping for one encoded sub-demand.
+struct Encoding {
+  milp::MilpProblem problem;
+  // x[(p, i, j, t)] and has[(p, i, t)] variable ids.
+  std::map<std::tuple<int, int, int, int>, int> x;
+  std::map<std::tuple<int, int, int>, int> has;
+  std::vector<int> done;  ///< done[t-1] for t = 1..T
+  int horizon = 0;
+  int binaries = 0;
+};
+
+Encoding encode(const SubDemand& demand, const EpochParams& ep, int horizon) {
+  const topo::GroupTopology& g = *demand.group;
+  const int np = static_cast<int>(demand.pieces.size());
+  const int T = horizon;
+  Encoding enc;
+  enc.horizon = T;
+  lp::Problem& pb = enc.problem.lp;
+
+  // Members of each piece: src + dsts.
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(np));
+  for (int p = 0; p < np; ++p) {
+    const DemandPiece& dp = demand.pieces[static_cast<std::size_t>(p)];
+    std::set<int> m(dp.dsts.begin(), dp.dsts.end());
+    m.insert(dp.srcs.begin(), dp.srcs.end());
+    members[static_cast<std::size_t>(p)] = std::vector<int>(m.begin(), m.end());
+  }
+
+  // Variables. ε objective weight on x keeps the schedule traffic-minimal
+  // among equally fast solutions.
+  constexpr double kSendCost = 1e-3;
+  for (int p = 0; p < np; ++p) {
+    const DemandPiece& dp = demand.pieces[static_cast<std::size_t>(p)];
+    const std::set<int> dstset(dp.dsts.begin(), dp.dsts.end());
+    const std::set<int> srcset(dp.srcs.begin(), dp.srcs.end());
+    for (int i : members[static_cast<std::size_t>(p)]) {
+      for (int t = 0; t <= T; ++t) {
+        const bool is_src = srcset.count(i) != 0;
+        const bool must_end = (t == T && dstset.count(i) != 0);
+        const double lo = (is_src || must_end) ? 1.0 : 0.0;
+        const double hi = (is_src || t > 0) ? 1.0 : 0.0;  // has[·][·][0] = 0 unless src
+        enc.has[{p, i, t}] = pb.add_var(lo, hi, 0.0);
+      }
+      if (dstset.count(i) == 0 && srcset.count(i) == 0) continue;
+      for (int j : dp.dsts) {
+        if (j == i) continue;
+        for (int t = 0; t + ep.lat_epochs <= T; ++t) {
+          enc.x[{p, i, j, t}] = pb.add_var(0.0, 1.0, kSendCost);
+          ++enc.binaries;
+        }
+      }
+    }
+  }
+  for (int t = 1; t <= T; ++t) {
+    enc.done.push_back(pb.add_var(0.0, 1.0, -1.0));  // maximize Σ done
+    ++enc.binaries;
+  }
+
+  enc.problem.is_integer.assign(static_cast<std::size_t>(pb.num_vars), true);
+
+  // Monotonicity: has[p][i][t] ≤ has[p][i][t+1].
+  for (const auto& [key, var] : enc.has) {
+    const auto [p, i, t] = key;
+    if (t == 0) continue;
+    const int prev = enc.has.at({p, i, t - 1});
+    pb.add_constraint({{{prev, 1.0}, {var, -1.0}}, lp::Relation::LessEq, 0.0});
+  }
+  // Sends require availability: x[p][i][j][t] ≤ has[p][i][t].
+  for (const auto& [key, var] : enc.x) {
+    const auto [p, i, j, t] = key;
+    (void)j;
+    pb.add_constraint({{{var, 1.0}, {enc.has.at({p, i, t}), -1.0}}, lp::Relation::LessEq, 0.0});
+  }
+  // Arrival: has[p][j][t] ≤ has[p][j][t-1] + Σ_i x[p][i][j][t-L].
+  std::map<std::tuple<int, int, int>, std::vector<int>> inbound;  // (p, j, ts) → x vars
+  for (const auto& [key, var] : enc.x) {
+    const auto [p, i, j, t] = key;
+    (void)i;
+    inbound[{p, j, t}].push_back(var);
+  }
+  for (const auto& [key, var] : enc.has) {
+    const auto [p, j, t] = key;
+    if (t == 0) continue;
+    const DemandPiece& dp = demand.pieces[static_cast<std::size_t>(p)];
+    if (std::find(dp.srcs.begin(), dp.srcs.end(), j) != dp.srcs.end()) {
+      continue;  // sources always have it
+    }
+    lp::Constraint c;
+    c.terms.push_back({var, 1.0});
+    c.terms.push_back({enc.has.at({p, j, t - 1}), -1.0});
+    const int ts = t - ep.lat_epochs;
+    if (ts >= 0) {
+      const auto iit = inbound.find({p, j, ts});
+      if (iit != inbound.end()) {
+        for (int xvar : iit->second) c.terms.push_back({xvar, -1.0});
+      }
+    }
+    c.rel = lp::Relation::LessEq;
+    c.rhs = 0.0;
+    pb.add_constraint(c);
+  }
+  // Port capacities: for every physical port/direction and epoch t, sends
+  // started in (t-O, t] occupy it; total ≤ C.
+  std::map<std::pair<int, int>, std::vector<std::pair<int, int>>> sends_by_port;
+  for (const auto& [key, var] : enc.x) {
+    const auto [p, i, j, t] = key;
+    (void)p;
+    sends_by_port[{g.up[static_cast<std::size_t>(i)].port_id, 0}].push_back({var, t});
+    sends_by_port[{g.down[static_cast<std::size_t>(j)].port_id, 1}].push_back({var, t});
+  }
+  for (const auto& [port, sends] : sends_by_port) {
+    (void)port;
+    for (int t = 0; t <= T; ++t) {
+      lp::Constraint c;
+      for (const auto& [var, ts] : sends) {
+        if (ts <= t && t < ts + ep.occupancy) c.terms.push_back({var, 1.0});
+      }
+      if (c.terms.size() <= static_cast<std::size_t>(ep.capacity)) continue;  // trivially satisfied
+      c.rel = lp::Relation::LessEq;
+      c.rhs = ep.capacity;
+      pb.add_constraint(c);
+    }
+  }
+  // done[t] ≤ has[p][d][t] for every demanded pair.
+  for (int t = 1; t <= T; ++t) {
+    const int dv = enc.done[static_cast<std::size_t>(t - 1)];
+    for (int p = 0; p < np; ++p) {
+      for (int d : demand.pieces[static_cast<std::size_t>(p)].dsts) {
+        pb.add_constraint({{{dv, 1.0}, {enc.has.at({p, d, t}), -1.0}}, lp::Relation::LessEq, 0.0});
+      }
+    }
+  }
+  return enc;
+}
+
+/// Builds the MILP warm-start vector from a feasible sub-schedule.
+std::vector<double> incumbent_vector(const Encoding& enc, const SubDemand& demand,
+                                     const EpochParams& ep, const SubSchedule& sched) {
+  std::vector<double> x0(static_cast<std::size_t>(enc.problem.lp.num_vars), 0.0);
+  // Arrival epochs per (piece, local).
+  std::map<std::pair<int, int>, int> arrival;
+  for (const auto& p : demand.pieces) {
+    for (int s : p.srcs) arrival[{p.id, s}] = 0;
+  }
+  for (const auto& op : sched.ops) {
+    auto [it, inserted] = arrival.try_emplace({op.piece, op.dst}, op.start_epoch + ep.lat_epochs);
+    if (!inserted) it->second = std::min(it->second, op.start_epoch + ep.lat_epochs);
+    const auto xit = enc.x.find({op.piece, op.src, op.dst, op.start_epoch});
+    if (xit == enc.x.end()) throw std::logic_error("incumbent op outside encoding");
+    x0[static_cast<std::size_t>(xit->second)] = 1.0;
+  }
+  for (const auto& [key, var] : enc.has) {
+    const auto [p, i, t] = key;
+    const auto it = arrival.find({p, i});
+    x0[static_cast<std::size_t>(var)] = (it != arrival.end() && it->second <= t) ? 1.0 : 0.0;
+  }
+  for (int t = 1; t <= enc.horizon; ++t) {
+    bool all = true;
+    for (const auto& p : demand.pieces) {
+      for (int d : p.dsts) {
+        const auto it = arrival.find({p.id, d});
+        if (it == arrival.end() || it->second > t) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) break;
+    }
+    x0[static_cast<std::size_t>(enc.done[static_cast<std::size_t>(t - 1)])] = all ? 1.0 : 0.0;
+  }
+  return x0;
+}
+
+/// Decodes a MILP solution back into a sub-schedule.
+SubSchedule decode(const Encoding& enc, const EpochParams& ep, const std::vector<double>& x) {
+  SubSchedule out;
+  out.params = ep;
+  std::map<std::pair<int, int>, int> arrival;
+  for (const auto& [key, var] : enc.x) {
+    if (x[static_cast<std::size_t>(var)] > 0.5) {
+      const auto [p, i, j, t] = key;
+      out.ops.push_back(SubOp{p, i, j, t});
+    }
+  }
+  std::stable_sort(out.ops.begin(), out.ops.end(),
+                   [](const SubOp& a, const SubOp& b) { return a.start_epoch < b.start_epoch; });
+  for (const auto& op : out.ops) {
+    out.num_epochs = std::max(out.num_epochs, op.start_epoch + ep.lat_epochs);
+  }
+  return out;
+}
+
+}  // namespace
+
+SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions& options,
+                             SolveStats* stats) {
+  util::Stopwatch clock;
+  demand.validate();
+  const EpochParams ep = derive_epoch_params(*demand.group, demand.piece_bytes, options.E);
+
+  SubSchedule best = solve_greedy(demand, ep);
+  SolveStats local;
+
+  // α-dominated regimes can make one transmission span hundreds of epochs;
+  // the epoch encoding then degenerates (huge horizons, tiny decisions), so
+  // the greedy schedule — optimal in that regime — stands.
+  constexpr int kMaxHorizon = 48;
+  if (!options.greedy_only && best.num_epochs > ep.lat_epochs &&
+      best.num_epochs <= kMaxHorizon) {
+    // Arithmetic size estimate first: building a hopeless encoding is itself
+    // expensive for large merged demands. Availability variables (members ×
+    // epochs) dominate the tableau for long horizons, so they count too.
+    const int T = best.num_epochs;
+    long estimate = T;
+    for (const auto& piece : demand.pieces) {
+      const long members = static_cast<long>(piece.srcs.size() + piece.dsts.size());
+      estimate += members * static_cast<long>(piece.dsts.size()) *
+                  std::max(1, T - ep.lat_epochs + 1);
+      estimate += members * (T + 1);
+    }
+    local.binaries = static_cast<int>(std::min<long>(estimate, 1 << 30));
+    if (estimate <= options.max_binaries) {
+    Encoding enc = encode(demand, ep, T);
+    local.binaries = enc.binaries;
+    if (enc.binaries <= options.max_binaries) {
+      local.used_milp = true;
+      milp::MilpOptions mopts;
+      mopts.time_limit_s = options.time_limit_s;
+      mopts.node_limit = options.node_limit;
+      const auto warm = incumbent_vector(enc, demand, ep, best);
+      const milp::MilpSolution sol = milp::solve(enc.problem, mopts, warm);
+      local.nodes_explored = sol.nodes_explored;
+      if ((sol.status == milp::MilpStatus::Optimal || sol.status == milp::MilpStatus::Feasible) &&
+          !sol.x.empty()) {
+        SubSchedule cand = decode(enc, ep, sol.x);
+        try {
+          check_sub_schedule(demand, cand);
+          if (cand.num_epochs < best.num_epochs ||
+              (cand.num_epochs == best.num_epochs && cand.ops.size() < best.ops.size())) {
+            best = std::move(cand);
+            local.milp_improved = true;
+          }
+        } catch (const std::logic_error& e) {
+          SYCCL_WARN << "MILP schedule rejected by checker: " << e.what();
+        }
+      }
+    }
+    }
+  }
+
+  local.solve_seconds = clock.elapsed_seconds();
+  if (stats != nullptr) *stats = local;
+  return best;
+}
+
+}  // namespace syccl::solver

@@ -1,0 +1,46 @@
+// MILP-based sub-demand scheduler (paper §5.1, Appendix A.1).
+//
+// Encodes a sub-demand into the epoch model as a MILP (binary send variables
+// x[p][i][j][t], availability variables, per-epoch port capacities) and
+// minimises the number of completion epochs. The greedy schedule seeds the
+// search as an incumbent, so the result is never worse than greedy; under
+// node/time limits the incumbent survives — exactly how the paper operates
+// its commercial solver.
+//
+// Transfers are restricted to the members of each piece's demand (its source
+// and destinations): in the star group abstraction, relaying through an
+// uninvolved GPU cannot reduce the bottleneck port load.
+#pragma once
+
+#include "solver/epoch_model.h"
+
+namespace syccl::solver {
+
+struct MilpSchedulerOptions {
+  /// Epoch knob (Appendix A.3). Coarse step E₁ ≈ 3.0, fine step E₂ ≈ 0.5.
+  double E = 1.0;
+  double time_limit_s = 2.0;
+  long node_limit = 4000;
+  /// Skip the MILP (greedy only) when the encoding would exceed this many
+  /// binary variables; keeps the dense-simplex B&B inside its practical size
+  /// range (worst-case synthesis time stays bounded).
+  int max_binaries = 500;
+  /// Force greedy-only solving (used by fast/coarse passes and ablations).
+  bool greedy_only = false;
+};
+
+struct SolveStats {
+  bool used_milp = false;
+  bool milp_improved = false;
+  double solve_seconds = 0.0;
+  long nodes_explored = 0;
+  int binaries = 0;
+};
+
+/// Solves `demand`: derives epoch parameters from the group and `options.E`,
+/// runs the greedy scheduler, then (size permitting) the MILP with the
+/// greedy incumbent. Returns the best feasible schedule found.
+SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions& options = {},
+                             SolveStats* stats = nullptr);
+
+}  // namespace syccl::solver

@@ -1,0 +1,72 @@
+#include "solver/tau.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace syccl::solver {
+
+EpochParams derive_epoch_params(double alpha, double beta, double bytes, double E) {
+  if (beta <= 0 || bytes <= 0) throw std::invalid_argument("beta and bytes must be positive");
+  if (alpha < 0) throw std::invalid_argument("alpha must be non-negative");
+  if (E <= 0) throw std::invalid_argument("E must be positive");
+
+  const double bs = beta * bytes;
+
+  // τ = r·β·s with r or 1/r integer (bandwidth constraint, Fig. 18(a)).
+  // E targets r directly: larger E → larger τ → coarser model. Among the two
+  // valid neighbours of E we pick the one minimising the latency-constraint
+  // slack g(r) = ⌈f(r)⌉ − f(r) with f(r) = (α+βs)/(r·βs) (Fig. 18(b)).
+  std::vector<double> candidates;
+  if (E >= 1.0) {
+    const double lo = std::max(1.0, std::floor(E));
+    candidates.push_back(lo);
+    candidates.push_back(lo + 1.0);
+  } else {
+    const double k = 1.0 / E;
+    const double lo = std::max(1.0, std::floor(k));
+    candidates.push_back(1.0 / lo);
+    candidates.push_back(1.0 / (lo + 1.0));
+  }
+
+  double best_r = candidates.front();
+  double best_score = std::numeric_limits<double>::infinity();
+  for (double r : candidates) {
+    const double f = (alpha + bs) / (r * bs);
+    const double g = std::ceil(f - 1e-12) - f;
+    const double score = g + 0.01 * std::fabs(r - E) / std::max(E, 1e-12);
+    if (score < best_score) {
+      best_score = score;
+      best_r = r;
+    }
+  }
+
+  EpochParams p;
+  p.r = best_r;
+  p.tau = best_r * bs;
+  p.lat_epochs = std::max(1, static_cast<int>(std::ceil((alpha + bs) / p.tau - 1e-9)));
+  if (best_r >= 1.0) {
+    p.capacity = std::max(1, static_cast<int>(std::llround(best_r)));
+    p.occupancy = 1;
+  } else {
+    p.capacity = 1;
+    p.occupancy = std::max(1, static_cast<int>(std::llround(1.0 / best_r)));
+  }
+  return p;
+}
+
+EpochParams derive_epoch_params(const topo::GroupTopology& group, double bytes, double E) {
+  double worst_alpha = 0.0, worst_beta = 0.0;
+  for (int i = 0; i < group.size(); ++i) {
+    worst_alpha = std::max(worst_alpha,
+                           group.up[static_cast<std::size_t>(i)].alpha +
+                               group.down[static_cast<std::size_t>(i)].alpha);
+    worst_beta = std::max({worst_beta, group.up[static_cast<std::size_t>(i)].beta,
+                           group.down[static_cast<std::size_t>(i)].beta});
+  }
+  return derive_epoch_params(worst_alpha, worst_beta, bytes, E);
+}
+
+}  // namespace syccl::solver

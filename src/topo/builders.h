@@ -1,0 +1,87 @@
+// Builders for the cluster topologies used in the paper's evaluation (§7.1,
+// Fig. 13, Appendix B) plus generic parameterised variants.
+//
+// Bandwidth inputs are bytes/second; the builders convert to β = 1/bandwidth.
+#pragma once
+
+#include "topo/topology.h"
+
+namespace syccl::topo {
+
+/// Parameters for one link class.
+struct LinkParams {
+  double alpha_s = 0.0;           ///< latency, seconds
+  double bandwidth_Bps = 1.0;     ///< bytes per second
+  double beta() const { return 1.0 / bandwidth_Bps; }
+};
+
+/// Commonly used constants (per public specs / paper §2.1).
+namespace params {
+/// NVLink through NVSwitch: per-GPU ~180 GB/s usable on H800, ~200 GB/s A100.
+inline LinkParams nvlink_h800() { return {0.35e-6, 180e9}; }
+inline LinkParams nvlink_a100() { return {0.35e-6, 200e9}; }
+/// 400 Gbps RDMA NIC ≈ 50 GB/s, 200 Gbps ≈ 25 GB/s. α covers NIC+switch hop.
+inline LinkParams nic_400g() { return {2.5e-6, 50e9}; }
+inline LinkParams nic_200g() { return {2.5e-6, 25e9}; }
+/// Switch-to-switch hop inside the fabric.
+inline LinkParams fabric_400g() { return {1.0e-6, 50e9}; }
+inline LinkParams fabric_200g() { return {1.0e-6, 25e9}; }
+}  // namespace params
+
+/// One server with `num_gpus` GPUs on a single NVSwitch.
+Topology build_single_server(int num_gpus, LinkParams nvlink = params::nvlink_a100());
+
+/// Multi-rail cluster (paper Fig. 3 / Fig. 13(b)): `num_servers` servers of
+/// `gpus_per_server` GPUs. Every GPU owns one NIC; NICs with the same
+/// intra-server index connect to the same rail leaf switch. If `with_spine`,
+/// all leaves connect to one spine tier so cross-rail traffic is routable.
+struct MultiRailSpec {
+  int num_servers = 4;
+  int gpus_per_server = 4;
+  LinkParams nvlink = params::nvlink_h800();
+  LinkParams nic = params::nic_400g();
+  LinkParams fabric = params::fabric_400g();
+  bool with_spine = true;
+};
+Topology build_multi_rail(const MultiRailSpec& spec);
+
+/// Clos cluster (paper Fig. 13(a) / Fig. 20): servers pair up under leaf
+/// (ToR) switches; leaves connect to a spine tier (and optionally a core).
+/// `nics_per_server` NICs are shared evenly by the GPUs of a server.
+struct ClosSpec {
+  int num_servers = 4;
+  int gpus_per_server = 8;
+  int nics_per_server = 4;
+  int servers_per_leaf = 2;
+  int leaves_per_spine = 2;    ///< if > number of leaves, a single spine tier
+  LinkParams nvlink = params::nvlink_a100();
+  LinkParams nic = params::nic_200g();
+  LinkParams fabric = params::fabric_200g();
+};
+Topology build_clos(const ClosSpec& spec);
+
+/// The 16/32-GPU A100 testbed of §7.1: 8 GPUs + 4×200G NICs per server, two
+/// servers per ToR, spine above (only present when >1 ToR).
+Topology build_a100_testbed(int num_gpus);
+
+/// The 64-server H800 cluster of §7.1 scaled to `num_servers` servers of 8
+/// GPUs with 8×400G NICs, multi-rail with spine.
+Topology build_h800_cluster(int num_servers);
+
+/// The scaled-down microbenchmark topology of §7.4: 6 servers × 4 GPUs,
+/// multi-rail with spine, H800-class links.
+Topology build_microbench_cluster();
+
+/// The larger multi-rail example of Appendix B Fig. 19: seven 4-GPU servers,
+/// four rail leaves, one spine.
+Topology build_fig19_topology();
+
+/// The Clos example of Appendix B Fig. 20: eight 4-GPU servers, two servers
+/// per leaf, two leaves per spine, one core — four dimensions.
+Topology build_fig20_topology();
+
+/// A flat single-switch domain in the style of rail-only NVL/HPN designs
+/// cited by the paper ([30]): `num_gpus` GPUs on one non-blocking switch.
+Topology build_flat_switch(int num_gpus, LinkParams link = params::nvlink_h800());
+
+}  // namespace topo

@@ -1,0 +1,76 @@
+#include "topo/isomorphism.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace syccl::topo {
+
+namespace {
+
+bool close(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-12});
+  return std::fabs(a - b) <= 1e-9 * scale;
+}
+
+bool ports_match(const GroupPort& a, const GroupPort& b) {
+  return close(a.alpha, b.alpha) && close(a.beta, b.beta);
+}
+
+/// Positional check: the i-th member of `a` must have the same port
+/// parameters as the i-th member of `b`, and port sharing must align (two
+/// members share a port in `a` iff their counterparts share in `b`).
+bool positionally_isomorphic(const GroupTopology& a, const GroupTopology& b) {
+  if (a.size() != b.size()) return false;
+  for (int i = 0; i < a.size(); ++i) {
+    if (!ports_match(a.up[static_cast<std::size_t>(i)], b.up[static_cast<std::size_t>(i)]) ||
+        !ports_match(a.down[static_cast<std::size_t>(i)], b.down[static_cast<std::size_t>(i)])) {
+      return false;
+    }
+  }
+  for (int i = 0; i < a.size(); ++i) {
+    for (int j = i + 1; j < a.size(); ++j) {
+      const bool share_a = a.up[static_cast<std::size_t>(i)].port_id ==
+                           a.up[static_cast<std::size_t>(j)].port_id;
+      const bool share_b = b.up[static_cast<std::size_t>(i)].port_id ==
+                           b.up[static_cast<std::size_t>(j)].port_id;
+      if (share_a != share_b) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool isomorphic(const GroupTopology& a, const GroupTopology& b) {
+  if (a.signature() != b.signature()) return false;
+  return positionally_isomorphic(a, b);
+}
+
+std::vector<int> positional_mapping(const GroupTopology& a, const GroupTopology& b) {
+  if (!positionally_isomorphic(a, b)) {
+    throw std::invalid_argument("groups are not positionally isomorphic");
+  }
+  std::vector<int> m(static_cast<std::size_t>(a.size()));
+  for (int i = 0; i < a.size(); ++i) m[static_cast<std::size_t>(i)] = i;
+  return m;
+}
+
+std::vector<int> isomorphism_classes(const std::vector<GroupTopology>& groups) {
+  std::vector<int> cls(groups.size(), -1);
+  std::map<std::string, int> seen;
+  int next = 0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const std::string sig = groups[i].signature();
+    auto it = seen.find(sig);
+    if (it == seen.end()) {
+      it = seen.emplace(sig, next++).first;
+    }
+    cls[i] = it->second;
+  }
+  return cls;
+}
+
+}  // namespace syccl::topo

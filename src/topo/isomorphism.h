@@ -1,0 +1,29 @@
+// Group isomorphism helpers (paper §3.1 / §5.3).
+//
+// Two groups in the same dimension are isomorphic when a one-to-one member
+// mapping preserves port parameters and port-sharing shape. Builders emit
+// regular topologies, so positional mapping (i-th member ↔ i-th member)
+// realises the isomorphism whenever one exists; `positional_mapping`
+// validates this before returning it.
+#pragma once
+
+#include <vector>
+
+#include "topo/groups.h"
+
+namespace syccl::topo {
+
+/// True when `a` and `b` have identical structural signatures and their
+/// positional port parameters match (sufficient for solver-result reuse).
+bool isomorphic(const GroupTopology& a, const GroupTopology& b);
+
+/// Mapping m with m[local index in a] = local index in b realising the
+/// isomorphism. Throws std::invalid_argument when the groups are not
+/// positionally isomorphic.
+std::vector<int> positional_mapping(const GroupTopology& a, const GroupTopology& b);
+
+/// Partitions groups of one dimension into isomorphism classes; returns
+/// class id per group index.
+std::vector<int> isomorphism_classes(const std::vector<GroupTopology>& groups);
+
+}  // namespace syccl::topo

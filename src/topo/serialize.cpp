@@ -1,0 +1,94 @@
+#include "topo/serialize.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace syccl::topo {
+
+namespace {
+
+const char* kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::Gpu: return "gpu";
+    case NodeKind::Nic: return "nic";
+    case NodeKind::Switch: return "switch";
+  }
+  return "?";
+}
+
+NodeKind parse_kind(const std::string& word, int line) {
+  if (word == "gpu") return NodeKind::Gpu;
+  if (word == "nic") return NodeKind::Nic;
+  if (word == "switch") return NodeKind::Switch;
+  throw std::invalid_argument("line " + std::to_string(line) + ": unknown node kind '" + word +
+                              "'");
+}
+
+}  // namespace
+
+std::string to_text(const Topology& topo) {
+  std::ostringstream os;
+  os << "# syccl topology, " << topo.num_gpus() << " GPUs\n";
+  for (const Node& n : topo.nodes()) {
+    os << "node " << kind_name(n.kind) << " " << n.server << " " << n.local_index << " "
+       << n.name << "\n";
+  }
+  for (const Link& l : topo.links()) {
+    os << "link " << topo.node(l.src).name << " " << topo.node(l.dst).name << " " << l.alpha
+       << " " << 1.0 / l.beta << " " << l.kind << "\n";
+  }
+  return os.str();
+}
+
+Topology from_text(const std::string& text) {
+  Topology topo;
+  std::map<std::string, NodeId> by_name;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;
+    if (word == "node") {
+      std::string kind, name;
+      int server = 0, local = 0;
+      if (!(ls >> kind >> server >> local >> name)) {
+        throw std::invalid_argument("line " + std::to_string(line_no) + ": malformed node");
+      }
+      if (by_name.count(name) != 0) {
+        throw std::invalid_argument("line " + std::to_string(line_no) + ": duplicate node '" +
+                                    name + "'");
+      }
+      by_name[name] = topo.add_node(parse_kind(kind, line_no), server, local, name);
+    } else if (word == "link" || word == "duplex") {
+      std::string a, b, kind;
+      double alpha = 0.0, bandwidth = 0.0;
+      if (!(ls >> a >> b >> alpha >> bandwidth >> kind)) {
+        throw std::invalid_argument("line " + std::to_string(line_no) + ": malformed link");
+      }
+      const auto ia = by_name.find(a);
+      const auto ib = by_name.find(b);
+      if (ia == by_name.end() || ib == by_name.end()) {
+        throw std::invalid_argument("line " + std::to_string(line_no) + ": unknown node name");
+      }
+      if (bandwidth <= 0) {
+        throw std::invalid_argument("line " + std::to_string(line_no) +
+                                    ": bandwidth must be positive");
+      }
+      if (word == "link") {
+        topo.add_link(ia->second, ib->second, alpha, 1.0 / bandwidth, kind);
+      } else {
+        topo.add_duplex_link(ia->second, ib->second, alpha, 1.0 / bandwidth, kind);
+      }
+    } else {
+      throw std::invalid_argument("line " + std::to_string(line_no) + ": unknown directive '" +
+                                  word + "'");
+    }
+  }
+  return topo;
+}
+
+}  // namespace syccl::topo

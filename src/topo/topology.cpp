@@ -1,0 +1,75 @@
+#include "topo/topology.h"
+
+#include <sstream>
+
+namespace syccl::topo {
+
+NodeId Topology::add_node(NodeKind kind, int server, int local_index, std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, kind, server, local_index, std::move(name)});
+  out_links_.emplace_back();
+  in_links_.emplace_back();
+  if (kind == NodeKind::Gpu) {
+    gpu_rank_.resize(nodes_.size(), -1);
+    gpu_rank_[static_cast<std::size_t>(id)] = static_cast<int>(gpus_.size());
+    gpus_.push_back(id);
+  } else {
+    gpu_rank_.resize(nodes_.size(), -1);
+  }
+  return id;
+}
+
+LinkId Topology::add_link(NodeId src, NodeId dst, double alpha, double beta, std::string kind) {
+  check_node(src);
+  check_node(dst);
+  if (src == dst) throw std::invalid_argument("self-link");
+  if (beta <= 0.0) throw std::invalid_argument("link beta must be positive");
+  if (alpha < 0.0) throw std::invalid_argument("link alpha must be non-negative");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, src, dst, alpha, beta, std::move(kind)});
+  out_links_[static_cast<std::size_t>(src)].push_back(id);
+  in_links_[static_cast<std::size_t>(dst)].push_back(id);
+  return id;
+}
+
+void Topology::add_duplex_link(NodeId a, NodeId b, double alpha, double beta,
+                               const std::string& kind) {
+  add_link(a, b, alpha, beta, kind);
+  add_link(b, a, alpha, beta, kind);
+}
+
+std::optional<int> Topology::gpu_rank(NodeId id) const {
+  check_node(id);
+  const int r = gpu_rank_[static_cast<std::size_t>(id)];
+  if (r < 0) return std::nullopt;
+  return r;
+}
+
+LinkId Topology::find_link(NodeId src, NodeId dst) const {
+  check_node(src);
+  check_node(dst);
+  for (LinkId l : out_links_[static_cast<std::size_t>(src)]) {
+    if (links_[static_cast<std::size_t>(l)].dst == dst) return l;
+  }
+  return kInvalidLink;
+}
+
+std::string Topology::summary() const {
+  std::size_t nics = 0, switches = 0;
+  for (const auto& n : nodes_) {
+    if (n.kind == NodeKind::Nic) ++nics;
+    if (n.kind == NodeKind::Switch) ++switches;
+  }
+  std::ostringstream os;
+  os << "topology: " << gpus_.size() << " GPUs, " << nics << " NICs, " << switches
+     << " switches, " << links_.size() << " links";
+  return os.str();
+}
+
+void Topology::check_node(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+    throw std::out_of_range("invalid node id");
+  }
+}
+
+}  // namespace syccl::topo

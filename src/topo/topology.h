@@ -1,0 +1,107 @@
+// Topology model (paper §3.1, Table 2).
+//
+// A topology is a directed graph of GPUs, NICs and switches. Every link
+// carries the α–β transmission parameters: sending s bytes over a link takes
+// α + β·s seconds end-to-end and occupies the link for β·s seconds before the
+// next chunk can start (Hockney model, §5.1).
+//
+// Bandwidth convention: β is seconds **per byte** (the reciprocal of link
+// bandwidth in bytes/second); α is seconds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace syccl::topo {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+enum class NodeKind { Gpu, Nic, Switch };
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::Gpu;
+  /// Server index for GPUs/NICs; -1 for switches.
+  int server = -1;
+  /// Index within the server for GPUs/NICs; tier index for switches.
+  int local_index = -1;
+  std::string name;
+};
+
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// Link latency in seconds.
+  double alpha = 0.0;
+  /// Reciprocal bandwidth in seconds per byte.
+  double beta = 0.0;
+  /// Human-readable link class ("nvlink", "pcie", "net", ...). Links of the
+  /// same class with the same α/β are considered identical for symmetry.
+  std::string kind;
+};
+
+/// A directed multigraph of GPUs, NICs and switches with α–β links.
+///
+/// The class maintains adjacency indexes so that group extraction and the
+/// simulator can walk the graph without linear scans.
+class Topology {
+ public:
+  NodeId add_node(NodeKind kind, int server, int local_index, std::string name);
+
+  /// Adds a directed link. Throws std::invalid_argument on bad endpoints or
+  /// non-positive bandwidth.
+  LinkId add_link(NodeId src, NodeId dst, double alpha, double beta, std::string kind);
+
+  /// Adds a pair of links src->dst and dst->src with identical parameters.
+  void add_duplex_link(NodeId a, NodeId b, double alpha, double beta, const std::string& kind);
+
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  const Link& link(LinkId id) const { return links_.at(static_cast<std::size_t>(id)); }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// GPU node ids in insertion order. GPU *rank* r is gpus()[r]; collectives
+  /// and schedules address GPUs by rank.
+  const std::vector<NodeId>& gpus() const { return gpus_; }
+  std::size_t num_gpus() const { return gpus_.size(); }
+
+  /// Rank of a GPU node, or nullopt if the node is not a GPU.
+  std::optional<int> gpu_rank(NodeId id) const;
+
+  const std::vector<LinkId>& out_links(NodeId id) const {
+    return out_links_.at(static_cast<std::size_t>(id));
+  }
+  const std::vector<LinkId>& in_links(NodeId id) const {
+    return in_links_.at(static_cast<std::size_t>(id));
+  }
+
+  /// First link src->dst, or kInvalidLink.
+  LinkId find_link(NodeId src, NodeId dst) const;
+
+  /// Human-readable one-line summary (node/link counts) for logging.
+  std::string summary() const;
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<NodeId> gpus_;
+  std::vector<int> gpu_rank_;  // indexed by NodeId, -1 for non-GPUs
+  std::vector<std::vector<LinkId>> out_links_;
+  std::vector<std::vector<LinkId>> in_links_;
+};
+
+}  // namespace syccl::topo

@@ -1,0 +1,29 @@
+#include "training/iteration.h"
+
+#include <stdexcept>
+
+namespace syccl::training {
+
+double compute_time(const TrainSetup& setup, const IterationModel& model) {
+  if (model.gpu_flops <= 0) throw std::invalid_argument("gpu_flops must be positive");
+  // 6 FLOPs per parameter per token (fwd 2 + bwd 4), split across GPUs: DP
+  // splits tokens, TP splits parameters — either way per-GPU work is
+  // 6·P·T / N.
+  const double flops = 6.0 * static_cast<double>(setup.model.parameters) *
+                       static_cast<double>(setup.batch_tokens);
+  return flops / (static_cast<double>(setup.num_gpus) * model.gpu_flops);
+}
+
+double iteration_time(const TrainSetup& setup, const IterationModel& model,
+                      const CollectiveTimer& timer) {
+  const double overlap =
+      setup.mode == Parallelism::DataParallel ? model.overlap_dp : model.overlap_tp;
+  double comm = 0.0;
+  for (const CollectiveCall& call : trace_iteration(setup)) {
+    const coll::Collective coll = call.materialise(setup.num_gpus);
+    comm += call.count * timer(coll);
+  }
+  return compute_time(setup, model) + (1.0 - overlap) * comm;
+}
+
+}  // namespace syccl::training

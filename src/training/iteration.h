@@ -1,0 +1,34 @@
+// Iteration-time model for end-to-end training comparisons (Table 6).
+//
+// t_iter = t_compute + Σ (1 − overlap) · count · t_collective. Compute time
+// comes from the standard 6·P·T FLOP estimate at an effective per-GPU
+// throughput; DP gradient communication partially overlaps the backward
+// pass, TP collectives sit on the critical path.
+#pragma once
+
+#include <functional>
+
+#include "training/trace.h"
+
+namespace syccl::training {
+
+struct IterationModel {
+  /// Effective per-GPU throughput (A100 bf16 with typical MFU).
+  double gpu_flops = 150e12;
+  /// Fraction of DP communication hidden behind the backward pass.
+  double overlap_dp = 0.5;
+  /// Fraction of TP communication hidden (sequence-parallel TP exposes it).
+  double overlap_tp = 0.0;
+};
+
+/// Compute-only time per iteration, seconds.
+double compute_time(const TrainSetup& setup, const IterationModel& model);
+
+/// Timer: completion time (seconds) of one collective on the cluster.
+using CollectiveTimer = std::function<double(const coll::Collective&)>;
+
+/// Full iteration time under a schedule family represented by `timer`.
+double iteration_time(const TrainSetup& setup, const IterationModel& model,
+                      const CollectiveTimer& timer);
+
+}  // namespace syccl::training

@@ -1,0 +1,71 @@
+#include "training/trace.h"
+
+#include <stdexcept>
+
+namespace syccl::training {
+
+ModelSpec gpt3_6p7b() {
+  ModelSpec m;
+  m.name = "GPT3-6.7B";
+  m.parameters = 6'700'000'000ull;
+  m.layers = 32;
+  m.hidden = 4096;
+  m.ffn = 16384;
+  m.seq_len = 2048;
+  return m;
+}
+
+ModelSpec llama3_8b() {
+  ModelSpec m;
+  m.name = "Llama3-8B";
+  m.parameters = 8'030'000'000ull;
+  m.layers = 32;
+  m.hidden = 4096;
+  m.ffn = 14336;
+  m.seq_len = 8192;
+  return m;
+}
+
+const char* parallelism_name(Parallelism p) {
+  return p == Parallelism::DataParallel ? "DP" : "TP";
+}
+
+coll::Collective CollectiveCall::materialise(int num_gpus) const {
+  switch (kind) {
+    case coll::CollKind::AllGather: return coll::make_allgather(num_gpus, bytes);
+    case coll::CollKind::ReduceScatter: return coll::make_reduce_scatter(num_gpus, bytes);
+    case coll::CollKind::AllReduce: return coll::make_allreduce(num_gpus, bytes);
+    case coll::CollKind::AllToAll: return coll::make_alltoall(num_gpus, bytes);
+    default: throw std::invalid_argument("unsupported traced collective");
+  }
+}
+
+std::vector<CollectiveCall> trace_iteration(const TrainSetup& setup) {
+  if (setup.num_gpus < 2) throw std::invalid_argument("training needs >= 2 GPUs");
+  if (setup.batch_tokens == 0) throw std::invalid_argument("batch_tokens must be positive");
+  std::vector<CollectiveCall> out;
+
+  if (setup.mode == Parallelism::DataParallel) {
+    // ZeRO-1: gradients reduce-scattered once per iteration, updated shards
+    // gathered back (paper: "ReduceScatter and AllGather are the primary
+    // collective communication operations").
+    const auto bytes =
+        static_cast<std::uint64_t>(static_cast<double>(setup.model.parameters) *
+                                   setup.dtype_bytes);
+    out.push_back({coll::CollKind::ReduceScatter, bytes, 1});
+    out.push_back({coll::CollKind::AllGather, bytes, 1});
+    return out;
+  }
+
+  // Tensor parallelism with sequence parallelism: per layer, AG before and
+  // RS after each of the two parallel blocks (attention, MLP), in forward
+  // and backward — 4 AllGathers and 4 ReduceScatters per layer per
+  // iteration. Activation buffer: batch_tokens × hidden × dtype.
+  const auto act_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(setup.batch_tokens) * setup.model.hidden * setup.dtype_bytes);
+  out.push_back({coll::CollKind::AllGather, act_bytes, 4 * setup.model.layers});
+  out.push_back({coll::CollKind::ReduceScatter, act_bytes, 4 * setup.model.layers});
+  return out;
+}
+
+}  // namespace syccl::training

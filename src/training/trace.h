@@ -1,0 +1,62 @@
+// Training-workload collective traces (paper §7.5, Table 6).
+//
+// The paper traces the collective calls of GPT-3 6.7B and Llama3-8B under
+// data parallelism (with a distributed optimizer) and tensor parallelism,
+// then synthesizes schedules for the traced (collective, size) pairs. We
+// derive those traces analytically from the published model configurations:
+//   DP  — per iteration: ReduceScatter(gradients) + AllGather(parameters)
+//         (ZeRO-1 distributed optimizer).
+//   TP  — per transformer layer, with sequence parallelism: AllGather +
+//         ReduceScatter around attention and around the MLP, in both the
+//         forward and backward passes (Megatron-LM style).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coll/collective.h"
+
+namespace syccl::training {
+
+struct ModelSpec {
+  std::string name;
+  std::uint64_t parameters = 0;
+  int layers = 0;
+  int hidden = 0;
+  int ffn = 0;
+  int seq_len = 0;
+};
+
+/// GPT-3 6.7B (Brown et al.): 32 layers, hidden 4096, ffn 16384.
+ModelSpec gpt3_6p7b();
+/// Llama3-8B: 32 layers, hidden 4096, ffn 14336 (GQA).
+ModelSpec llama3_8b();
+
+enum class Parallelism { DataParallel, TensorParallel };
+
+const char* parallelism_name(Parallelism p);
+
+struct TrainSetup {
+  ModelSpec model;
+  Parallelism mode = Parallelism::DataParallel;
+  int num_gpus = 16;
+  /// Tokens processed per iteration (global batch × sequence length).
+  std::uint64_t batch_tokens = 0;
+  double dtype_bytes = 2.0;  ///< bf16
+};
+
+/// One traced collective call pattern: `count` invocations of `kind` with
+/// nccl-tests-convention `bytes` each.
+struct CollectiveCall {
+  coll::CollKind kind = coll::CollKind::AllGather;
+  std::uint64_t bytes = 0;
+  int count = 0;
+
+  coll::Collective materialise(int num_gpus) const;
+};
+
+/// The per-iteration collective trace of a setup.
+std::vector<CollectiveCall> trace_iteration(const TrainSetup& setup);
+
+}  // namespace syccl::training

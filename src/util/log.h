@@ -1,0 +1,57 @@
+// Lightweight leveled logging for the SyCCL library.
+//
+// Logging goes to stderr so that bench/example stdout stays machine-parseable.
+// The level is process-global and defaults to Warn; benches raise it to Info
+// when diagnosing synthesis behaviour.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace syccl::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets the process-global log level. Thread-safe (atomic store).
+void set_log_level(LogLevel level);
+
+/// Returns the current process-global log level.
+LogLevel log_level();
+
+/// Emits one formatted line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace syccl::util
+
+#define SYCCL_LOG(level)                                        \
+  if (static_cast<int>(level) < static_cast<int>(::syccl::util::log_level())) { \
+  } else                                                        \
+    ::syccl::util::detail::LogStream(level)
+
+#define SYCCL_TRACE SYCCL_LOG(::syccl::util::LogLevel::Trace)
+#define SYCCL_DEBUG SYCCL_LOG(::syccl::util::LogLevel::Debug)
+#define SYCCL_INFO SYCCL_LOG(::syccl::util::LogLevel::Info)
+#define SYCCL_WARN SYCCL_LOG(::syccl::util::LogLevel::Warn)
+#define SYCCL_ERROR SYCCL_LOG(::syccl::util::LogLevel::Error)

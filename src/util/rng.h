@@ -1,0 +1,67 @@
+// Deterministic xorshift128+ random number generator.
+//
+// All stochastic choices in the library (tie-breaking, sampling in tests and
+// benches) go through this generator so that every run is reproducible from a
+// seed. We deliberately avoid std::mt19937's platform-dependent seeding paths.
+#pragma once
+
+#include <cstdint>
+
+namespace syccl::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 expansion of the seed into two non-zero state words.
+    state_[0] = splitmix(seed);
+    state_[1] = splitmix(state_[0]);
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t x = state_[0];
+    const std::uint64_t y = state_[1];
+    state_[0] = y;
+    x ^= x << 23;
+    state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state_[1] + y;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  static std::uint64_t splitmix(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t splitmix(std::uint64_t&& x) {
+    std::uint64_t v = x;
+    return splitmix(v);
+  }
+
+  std::uint64_t state_[2];
+};
+
+}  // namespace syccl::util

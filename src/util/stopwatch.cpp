@@ -1,0 +1,30 @@
+#include "util/stopwatch.h"
+
+#include <stdexcept>
+
+namespace syccl::util {
+
+void Stopwatch::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::elapsed_seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+void PhaseTimer::add(int phase, double seconds) {
+  if (phase < 0 || phase >= kMaxPhases) throw std::out_of_range("PhaseTimer phase index");
+  buckets_[phase] += seconds;
+}
+
+double PhaseTimer::total(int phase) const {
+  if (phase < 0 || phase >= kMaxPhases) throw std::out_of_range("PhaseTimer phase index");
+  return buckets_[phase];
+}
+
+double PhaseTimer::grand_total() const {
+  double sum = 0;
+  for (double b : buckets_) sum += b;
+  return sum;
+}
+
+}  // namespace syccl::util

@@ -1,0 +1,41 @@
+// Wall-clock stopwatch used by synthesis-time measurements (Fig. 16, Table 5).
+#pragma once
+
+#include <chrono>
+
+namespace syccl::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  /// Restarts the stopwatch from zero.
+  void reset();
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const;
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates named phase durations (search / combine / solve1 / solve2 in
+/// the Fig. 16(b) breakdown).
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to the named phase bucket (index-based, caller defines).
+  void add(int phase, double seconds);
+
+  double total(int phase) const;
+  double grand_total() const;
+
+  static constexpr int kMaxPhases = 8;
+
+ private:
+  double buckets_[kMaxPhases] = {};
+};
+
+}  // namespace syccl::util

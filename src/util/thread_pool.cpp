@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace syccl::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 4;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // Single-item batches run inline: avoids queue latency and makes the pool
+  // usable re-entrantly from within a task.
+  if (count == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  struct Batch {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+  };
+  Batch batch;
+  batch.remaining.store(count);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < count; ++i) {
+      queue_.push([&batch, &fn, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(batch.error_mutex);
+          if (!batch.first_error) batch.first_error = std::current_exception();
+        }
+        if (batch.remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dlock(batch.done_mutex);
+          batch.done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller participates in draining the queue instead of sleeping: this
+  // makes nested parallel_for calls deadlock-free.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (batch.remaining.load() == 0) break;
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+    }
+    if (task) {
+      task();
+    } else {
+      std::unique_lock<std::mutex> lock(batch.done_mutex);
+      batch.done_cv.wait_for(lock, std::chrono::milliseconds(1),
+                             [&batch] { return batch.remaining.load() == 0; });
+    }
+  }
+
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+}  // namespace syccl::util

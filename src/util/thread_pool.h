@@ -1,0 +1,48 @@
+// Fixed-size worker pool used to solve independent sub-demands in parallel
+// (§5.3 "Utilizing isomorphism and parallelism to accelerate synthesis").
+//
+// The pool is a plain FIFO work queue: sub-demand solves are coarse-grained
+// (milliseconds to seconds), so work stealing would buy nothing. parallel_for
+// blocks the caller until every task finished and rethrows the first captured
+// exception, so callers never observe partially-completed batches.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace syccl::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. 0 means
+  /// std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for completion.
+  /// If any task throws, the first exception is rethrown in the caller after
+  /// all tasks have drained.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace syccl::util

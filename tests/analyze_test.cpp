@@ -1,0 +1,113 @@
+// Tests for schedule analysis and the Appendix-B topology builders.
+#include <gtest/gtest.h>
+
+#include "baselines/nccl.h"
+#include "core/asymmetric.h"
+#include "sim/analyze.h"
+#include "topo/builders.h"
+#include "topo/groups.h"
+
+namespace syccl {
+namespace {
+
+TEST(Builders, Fig19SevenServerMultiRail) {
+  const auto topo = topo::build_fig19_topology();
+  EXPECT_EQ(topo.num_gpus(), 28u);
+  const auto g = topo::extract_groups(topo);
+  ASSERT_EQ(g.num_dims(), 3);
+  EXPECT_EQ(g.dims[0].groups.size(), 7u);  // servers
+  EXPECT_EQ(g.dims[1].groups.size(), 4u);  // rails
+  // Paper Fig. 19: dim-1 group 0 is {0, 4, 8, …, 24}.
+  EXPECT_EQ(g.dims[1].groups[0].ranks,
+            (std::vector<int>{0, 4, 8, 12, 16, 20, 24}));
+}
+
+TEST(Builders, Fig20ClosWithCore) {
+  const auto topo = topo::build_fig20_topology();
+  EXPECT_EQ(topo.num_gpus(), 32u);
+  const auto g = topo::extract_groups(topo);
+  // Paper Fig. 20: four dimensions — servers, leaves, spines, core.
+  ASSERT_EQ(g.num_dims(), 4);
+  EXPECT_EQ(g.dims[0].groups.size(), 8u);
+  EXPECT_EQ(g.dims[1].groups.size(), 4u);
+  EXPECT_EQ(g.dims[2].groups.size(), 2u);
+  EXPECT_EQ(g.dims[3].groups.size(), 1u);
+  EXPECT_EQ(g.dims[1].groups[0].size(), 8);
+  EXPECT_EQ(g.dims[2].groups[0].size(), 16);
+}
+
+TEST(Builders, FlatSwitchIsOneDimension) {
+  const auto topo = topo::build_flat_switch(72);
+  const auto g = topo::extract_groups(topo);
+  ASSERT_EQ(g.num_dims(), 1);
+  EXPECT_EQ(g.dims[0].groups[0].size(), 72);
+}
+
+TEST(Analyze, RingStatsMatchKnownStructure) {
+  const auto topo = topo::build_h800_cluster(2);
+  const auto groups = topo::extract_groups(topo);
+  const auto ag = coll::make_allgather(16, 16 << 20);
+  const auto ring = baselines::nccl_ring_allgather(ag, groups);
+  const auto stats = sim::analyze_schedule(ring, groups);
+  EXPECT_EQ(stats.num_ops, ring.ops.size());
+  EXPECT_EQ(stats.num_pieces, ring.pieces.size());
+  // A ring moves every piece across every position: 15 hops deep.
+  EXPECT_EQ(stats.max_relay_depth, 15);
+  EXPECT_GT(stats.makespan, 0.0);
+  EXPECT_GT(stats.bottleneck_utilisation, 0.5);  // rings pipeline well
+  EXPECT_LE(stats.bottleneck_utilisation, 1.0);
+  // Traffic conservation: per-dim traffic sums to the total.
+  double sum = 0;
+  for (double t : stats.traffic_per_dim) sum += t;
+  EXPECT_NEAR(sum, stats.total_traffic, 1.0);
+}
+
+TEST(Analyze, FormatIsHumanReadable) {
+  const auto topo = topo::build_single_server(4);
+  const auto groups = topo::extract_groups(topo);
+  sim::Schedule s;
+  s.add_piece(sim::Piece{0, 1000.0, 0, false, {}});
+  s.add_op(0, 0, 1);
+  const auto stats = sim::analyze_schedule(s, groups);
+  const std::string text = sim::format_stats(stats);
+  EXPECT_NE(text.find("1 ops"), std::string::npos);
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+}
+
+TEST(AllGatherV, UniformAndSkewedServed) {
+  const auto topo = topo::build_h800_cluster(2);
+  const auto groups = topo::extract_groups(topo);
+  std::vector<std::uint64_t> uniform(16, 1 << 20);
+  const auto s1 = core::synthesize_allgatherv(uniform, groups);
+  EXPECT_TRUE(core::verify_allgatherv(s1, uniform));
+
+  std::vector<std::uint64_t> skewed(16, 0);
+  skewed[3] = 32 << 20;
+  skewed[12] = 1 << 10;
+  const auto s2 = core::synthesize_allgatherv(skewed, groups);
+  EXPECT_TRUE(core::verify_allgatherv(s2, skewed));
+  EXPECT_EQ(s2.pieces.size(), 2u);
+  // Longest-first: the 32 MB contribution is issued before the 1 KB one.
+  EXPECT_EQ(s2.ops.front().piece, 0);
+  EXPECT_EQ(s2.pieces[s2.ops.front().piece].origin, 3);
+}
+
+TEST(AllGatherV, RejectsWrongRankCount) {
+  const auto topo = topo::build_h800_cluster(2);
+  const auto groups = topo::extract_groups(topo);
+  std::vector<std::uint64_t> wrong(8, 1);
+  EXPECT_THROW(core::synthesize_allgatherv(wrong, groups), std::invalid_argument);
+}
+
+TEST(AllGatherV, VerifierCatchesMissingFanOut) {
+  const auto topo = topo::build_h800_cluster(2);
+  const auto groups = topo::extract_groups(topo);
+  std::vector<std::uint64_t> bytes(16, 0);
+  bytes[0] = 4096;
+  auto s = core::synthesize_allgatherv(bytes, groups);
+  s.ops.pop_back();  // drop one delivery
+  EXPECT_FALSE(core::verify_allgatherv(s, bytes));
+}
+
+}  // namespace
+}  // namespace syccl

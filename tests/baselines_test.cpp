@@ -1,0 +1,187 @@
+// Tests for the NCCL / hand-crafted / TECCL baselines: every generated
+// schedule must satisfy its collective on the simulator, and the qualitative
+// orderings from the paper's background sections must hold.
+#include <gtest/gtest.h>
+
+#include "baselines/crafted.h"
+#include "baselines/nccl.h"
+#include "baselines/teccl.h"
+#include "coll/busbw.h"
+#include "runtime/validate.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+
+namespace syccl::baselines {
+namespace {
+
+struct H800Fixture {
+  topo::Topology topo = topo::build_h800_cluster(2);
+  topo::TopologyGroups groups = topo::extract_groups(topo);
+  sim::Simulator sim{groups};
+};
+
+TEST(NcclRing, SatisfiesAllGather) {
+  H800Fixture f;
+  const auto ag = coll::make_allgather(16, 16 << 20);
+  const auto s = nccl_ring_allgather(ag, f.groups);
+  EXPECT_GT(f.sim.time_collective(s, ag), 0.0);
+  const auto rep = runtime::validate_schedule(s, ag, f.groups);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors.front());
+  EXPECT_TRUE(rep.warnings.empty());  // a ring never delivers twice
+}
+
+TEST(NcclRing, ChannelCountDefaultsToNicCount) {
+  H800Fixture f;
+  const auto ag = coll::make_allgather(16, 16 << 20);
+  const auto s = nccl_ring_allgather(ag, f.groups);
+  // 8 NICs per server → 8 channels → 8 pieces per chunk.
+  EXPECT_EQ(s.pieces.size(), 16u * 8u);
+}
+
+TEST(NcclRing, MoreChannelsHelpLargeSizes) {
+  H800Fixture f;
+  const auto ag = coll::make_allgather(16, 1 << 30);
+  NcclOptions one, eight;
+  one.channels = 1;
+  eight.channels = 8;
+  const double t1 = f.sim.time_collective(nccl_ring_allgather(ag, f.groups, one), ag);
+  const double t8 = f.sim.time_collective(nccl_ring_allgather(ag, f.groups, eight), ag);
+  EXPECT_LT(t8, t1);
+}
+
+TEST(NcclRing, ReduceScatterValidates) {
+  H800Fixture f;
+  const auto rs = coll::make_reduce_scatter(16, 16 << 20);
+  const auto s = nccl_ring_reduce_scatter(rs, f.groups);
+  EXPECT_GT(f.sim.time_collective(s, rs), 0.0);
+  EXPECT_TRUE(runtime::validate_schedule(s, rs, f.groups).ok);
+}
+
+TEST(NcclTree, BroadcastValidates) {
+  H800Fixture f;
+  const auto bc = coll::make_broadcast(16, 1 << 20, 3);
+  const auto s = nccl_tree_broadcast(bc, f.groups);
+  EXPECT_TRUE(runtime::validate_schedule(s, bc, f.groups).ok);
+  // Double binary tree: 2 × (n−1) sends.
+  EXPECT_EQ(s.ops.size(), 2u * 15u);
+}
+
+TEST(NcclAllToAll, PxnAvoidsCrossRailHops) {
+  H800Fixture f;
+  const auto a2a = coll::make_alltoall(16, 16 << 20);
+  NcclOptions pxn, direct;
+  direct.pxn = false;
+  const auto s_pxn = nccl_alltoall(a2a, f.groups, pxn);
+  const auto s_dir = nccl_alltoall(a2a, f.groups, direct);
+  EXPECT_TRUE(runtime::validate_schedule(s_pxn, a2a, f.groups).ok);
+  EXPECT_TRUE(runtime::validate_schedule(s_dir, a2a, f.groups).ok);
+  // PXN never uses the spine dimension.
+  for (const auto& op : s_pxn.ops) EXPECT_LT(op.dim, 2);
+  // And is at least as fast on a rail topology.
+  EXPECT_LE(f.sim.time_collective(s_pxn, a2a), f.sim.time_collective(s_dir, a2a) * 1.05);
+}
+
+TEST(NcclAllReduce, PhasesAndTiming) {
+  H800Fixture f;
+  const auto ar = coll::make_allreduce(16, 16 << 20);
+  const auto s = nccl_ring_allreduce(ar, f.groups);
+  int max_phase = 0;
+  for (const auto& op : s.ops) max_phase = std::max(max_phase, op.phase);
+  EXPECT_GE(max_phase, 1);
+  EXPECT_GT(f.sim.run(s).makespan, 0.0);
+}
+
+TEST(NcclDispatch, CoversKinds) {
+  H800Fixture f;
+  EXPECT_NO_THROW(nccl_schedule(coll::make_allgather(16, 1 << 20), f.groups));
+  EXPECT_NO_THROW(nccl_schedule(coll::make_alltoall(16, 1 << 20), f.groups));
+  EXPECT_THROW(nccl_schedule(coll::make_gather(16, 1 << 20), f.groups), std::invalid_argument);
+}
+
+TEST(Crafted, SuiteValidates) {
+  H800Fixture f;
+  const auto ag = coll::make_allgather(16, 64 << 20);
+  const auto suite = crafted_allgather_suite(ag, f.groups, true);
+  ASSERT_EQ(suite.size(), 4u);  // ring, direct, hierarchical, improved
+  for (const auto& s : suite) {
+    EXPECT_TRUE(runtime::validate_schedule(s, ag, f.groups).ok) << s.name;
+    EXPECT_GT(f.sim.time_collective(s, ag), 0.0) << s.name;
+  }
+}
+
+TEST(Crafted, HierarchicalBeatsDirectAtLargeSizes) {
+  H800Fixture f;
+  const auto ag = coll::make_allgather(16, 1 << 30);
+  const double t_dir = f.sim.time_collective(crafted_direct_allgather(ag, f.groups), ag);
+  const double t_hier =
+      f.sim.time_collective(crafted_hierarchical_allgather(ag, f.groups), ag);
+  EXPECT_LT(t_hier, t_dir);
+}
+
+TEST(Crafted, DirectWinsAtTinySizes) {
+  // Latency regime: one hop beats hierarchical staging.
+  H800Fixture f;
+  const auto ag = coll::make_allgather(16, 16 * 1024);
+  const double t_dir = f.sim.time_collective(crafted_direct_allgather(ag, f.groups), ag);
+  const auto ring = nccl_ring_allgather(ag, f.groups);
+  const double t_ring = f.sim.time_collective(ring, ag);
+  EXPECT_LT(t_dir, t_ring);  // |V|−1 ring hops dominate at small sizes (§2.1)
+}
+
+TEST(Crafted, ImprovedRequiresRails) {
+  const auto clos = topo::build_a100_testbed(16);
+  const auto groups = topo::extract_groups(clos);
+  const auto ag = coll::make_allgather(16, 1 << 20);
+  EXPECT_THROW(crafted_improved_hierarchical_allgather(ag, groups), std::invalid_argument);
+  EXPECT_EQ(crafted_allgather_suite(ag, groups, true).size(), 3u);
+}
+
+TEST(Teccl, SynthesizesValidAllGather) {
+  H800Fixture f;
+  const auto ag = coll::make_allgather(16, 4 << 20);
+  TecclOptions opts;
+  opts.time_budget_s = 2.0;
+  const TecclResult r = teccl_synthesize(ag, f.groups, opts);
+  ASSERT_FALSE(r.timed_out);
+  EXPECT_GT(r.restarts, 0);
+  EXPECT_GT(r.predicted_time, 0.0);
+  EXPECT_TRUE(runtime::validate_schedule(r.schedule, ag, f.groups).ok);
+}
+
+TEST(Teccl, ReduceScatterIsReversedAllGather) {
+  H800Fixture f;
+  const auto rs = coll::make_reduce_scatter(16, 4 << 20);
+  TecclOptions opts;
+  opts.time_budget_s = 2.0;
+  const TecclResult r = teccl_synthesize(rs, f.groups, opts);
+  ASSERT_FALSE(r.timed_out);
+  EXPECT_TRUE(runtime::validate_schedule(r.schedule, rs, f.groups).ok);
+}
+
+TEST(Teccl, RespectsTimeBudget) {
+  H800Fixture f;
+  const auto ag = coll::make_allgather(16, 4 << 20);
+  TecclOptions opts;
+  opts.time_budget_s = 0.5;
+  const TecclResult r = teccl_synthesize(ag, f.groups, opts);
+  EXPECT_LT(r.synth_seconds, 3.0);  // budget plus one pass of slack
+}
+
+TEST(Teccl, TimesOutOnHugeProblemWithTinyBudget) {
+  const auto big = topo::build_h800_cluster(16);  // 128 GPUs
+  const auto groups = topo::extract_groups(big);
+  const auto ag = coll::make_allgather(128, 1 << 30);
+  TecclOptions opts;
+  opts.time_budget_s = 0.05;
+  const TecclResult r = teccl_synthesize(ag, groups, opts);
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(Teccl, RejectsUnsupportedKind) {
+  H800Fixture f;
+  EXPECT_THROW(teccl_synthesize(coll::make_gather(16, 1 << 20), f.groups),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syccl::baselines

@@ -1,0 +1,105 @@
+// Tests for the schedule library (memoisation + on-disk persistence) and
+// topology signatures.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/cache.h"
+#include "runtime/executor.h"
+#include "topo/builders.h"
+
+namespace syccl::core {
+namespace {
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("syccl_cache_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(TopologySignature, StableAndDiscriminating) {
+  const auto a1 = topo::extract_groups(topo::build_h800_cluster(2));
+  const auto a2 = topo::extract_groups(topo::build_h800_cluster(2));
+  const auto b = topo::extract_groups(topo::build_h800_cluster(4));
+  const auto c = topo::extract_groups(topo::build_a100_testbed(16));
+  EXPECT_EQ(topology_signature(a1), topology_signature(a2));
+  EXPECT_NE(topology_signature(a1), topology_signature(b));
+  EXPECT_NE(topology_signature(a1), topology_signature(c));
+}
+
+TEST(ScheduleKey, DependsOnAllFields) {
+  const auto g = topo::extract_groups(topo::build_h800_cluster(2));
+  const auto k1 = schedule_key(g, coll::make_allgather(16, 1 << 20));
+  const auto k2 = schedule_key(g, coll::make_allgather(16, 2 << 20));
+  const auto k3 = schedule_key(g, coll::make_reduce_scatter(16, 1 << 20));
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k1, k3);
+  EXPECT_EQ(k1, schedule_key(g, coll::make_allgather(16, 1 << 20)));
+}
+
+TEST(ScheduleLibrary, MemoisesSynthesis) {
+  const auto topo = topo::build_h800_cluster(2);
+  Synthesizer synth(topo);
+  ScheduleLibrary lib(synth);
+  const auto ag = coll::make_allgather(16, 1 << 20);
+  EXPECT_FALSE(lib.contains(ag));
+  const auto& first = lib.get(ag);
+  EXPECT_TRUE(lib.contains(ag));
+  const auto& second = lib.get(ag);
+  EXPECT_EQ(&first, &second);  // same cached object
+  EXPECT_EQ(lib.size(), 1u);
+}
+
+TEST(ScheduleLibrary, SaveAndLoadRoundTrip) {
+  TempDir dir;
+  const auto topo = topo::build_h800_cluster(2);
+  const auto ag = coll::make_allgather(16, 4 << 20);
+  double predicted = 0.0;
+  {
+    Synthesizer synth(topo);
+    ScheduleLibrary lib(synth);
+    predicted = lib.get(ag).predicted_time;
+    EXPECT_EQ(lib.save(dir.path.string()), 1);
+  }
+  {
+    Synthesizer synth(topo);
+    ScheduleLibrary lib(synth);
+    EXPECT_EQ(lib.load(dir.path.string()), 1);
+    EXPECT_TRUE(lib.contains(ag));
+    const auto& r = lib.get(ag);  // served from disk, no re-synthesis
+    EXPECT_NEAR(r.predicted_time, predicted, 1e-9);  // text round-trip precision
+    EXPECT_EQ(r.chosen, "loaded from library");
+    // The loaded schedule still moves the right bytes.
+    EXPECT_TRUE(runtime::execute_and_verify(r.schedule, ag).ok);
+  }
+}
+
+TEST(ScheduleLibrary, LoadSkipsOtherTopologies) {
+  TempDir dir;
+  {
+    const auto topo16 = topo::build_h800_cluster(2);
+    Synthesizer synth(topo16);
+    ScheduleLibrary lib(synth);
+    (void)lib.get(coll::make_allgather(16, 1 << 20));
+    lib.save(dir.path.string());
+  }
+  const auto topo32 = topo::build_h800_cluster(4);
+  Synthesizer synth(topo32);
+  ScheduleLibrary lib(synth);
+  EXPECT_EQ(lib.load(dir.path.string()), 0);
+}
+
+TEST(ScheduleLibrary, LoadFromMissingDirIsZero) {
+  const auto topo = topo::build_h800_cluster(2);
+  Synthesizer synth(topo);
+  ScheduleLibrary lib(synth);
+  EXPECT_EQ(lib.load("/nonexistent/syccl/dir"), 0);
+}
+
+}  // namespace
+}  // namespace syccl::core

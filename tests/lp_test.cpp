@@ -1,0 +1,126 @@
+// Tests for the simplex LP solver against hand-solved problems.
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+
+namespace syccl::lp {
+namespace {
+
+TEST(Simplex, SimpleTwoVarMax) {
+  // maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6  → x=4, y=0, obj=12.
+  Problem p;
+  const int x = p.add_var(0, kInf, -3.0);
+  const int y = p.add_var(0, kInf, -2.0);
+  p.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::LessEq, 4.0});
+  p.add_constraint({{{x, 1.0}, {y, 3.0}}, Relation::LessEq, 6.0});
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -12.0, 1e-7);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-7);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // minimize x + y s.t. x + 2y = 4, x >= 0, y >= 0 → y=2, x=0, obj=2.
+  Problem p;
+  const int x = p.add_var(0, kInf, 1.0);
+  const int y = p.add_var(0, kInf, 1.0);
+  p.add_constraint({{{x, 1.0}, {y, 2.0}}, Relation::Eq, 4.0});
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-7);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqAndInfeasible) {
+  Problem p;
+  const int x = p.add_var(0, 1.0, 1.0);
+  p.add_constraint({{{x, 1.0}}, Relation::GreaterEq, 2.0});  // x <= 1 but x >= 2
+  EXPECT_EQ(solve(p).status, Status::Infeasible);
+}
+
+TEST(Simplex, Unbounded) {
+  Problem p;
+  const int x = p.add_var(0, kInf, -1.0);  // maximize x, no constraint
+  (void)x;
+  EXPECT_EQ(solve(p).status, Status::Unbounded);
+}
+
+TEST(Simplex, VariableBoundsRespected) {
+  // minimize -x - y with 1 <= x <= 3, 0 <= y <= 2, x + y <= 4 → x=3,y=1? or x=2,y=2.
+  Problem p;
+  const int x = p.add_var(1.0, 3.0, -1.0);
+  const int y = p.add_var(0.0, 2.0, -1.0);
+  p.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::LessEq, 4.0});
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -4.0, 1e-7);
+  EXPECT_GE(s.x[0], 1.0 - 1e-7);
+  EXPECT_LE(s.x[0], 3.0 + 1e-7);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // minimize x with -5 <= x <= 5, x >= -3 → x = -3.
+  Problem p;
+  const int x = p.add_var(-5.0, 5.0, 1.0);
+  p.add_constraint({{{x, 1.0}}, Relation::GreaterEq, -3.0});
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0], -3.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateDoesNotCycle) {
+  // Classic degenerate LP; must terminate.
+  Problem p;
+  const int x1 = p.add_var(0, kInf, -0.75);
+  const int x2 = p.add_var(0, kInf, 150.0);
+  const int x3 = p.add_var(0, kInf, -0.02);
+  const int x4 = p.add_var(0, kInf, 6.0);
+  p.add_constraint({{{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}}, Relation::LessEq, 0.0});
+  p.add_constraint({{{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}}, Relation::LessEq, 0.0});
+  p.add_constraint({{{x3, 1.0}}, Relation::LessEq, 1.0});
+  const Solution s = solve(p);
+  EXPECT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-6);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 sources (supply 20, 30), 3 sinks (demand 10, 25, 15), costs:
+  //   s0: 2 4 5 ; s1: 3 1 7.
+  // Optimal: x11=25 (25), x02=15 (75), x00=5 (10), x10=5 (15) → 125.
+  Problem p;
+  std::vector<std::vector<int>> x(2, std::vector<int>(3));
+  const double cost[2][3] = {{2, 4, 5}, {3, 1, 7}};
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) x[i][j] = p.add_var(0, kInf, cost[i][j]);
+  }
+  const double supply[2] = {20, 30};
+  const double demand[3] = {10, 25, 15};
+  for (int i = 0; i < 2; ++i) {
+    Constraint c;
+    for (int j = 0; j < 3; ++j) c.terms.push_back({x[i][j], 1.0});
+    c.rel = Relation::LessEq;
+    c.rhs = supply[i];
+    p.add_constraint(c);
+  }
+  for (int j = 0; j < 3; ++j) {
+    Constraint c;
+    for (int i = 0; i < 2; ++i) c.terms.push_back({x[i][j], 1.0});
+    c.rel = Relation::Eq;
+    c.rhs = demand[j];
+    p.add_constraint(c);
+  }
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 125.0, 1e-6);
+}
+
+TEST(Simplex, RejectsUnknownVariable) {
+  Problem p;
+  p.add_var();
+  p.add_constraint({{{5, 1.0}}, Relation::LessEq, 1.0});
+  EXPECT_THROW(solve(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syccl::lp

@@ -1,0 +1,61 @@
+// Tests for the network profiler: fitted α/β must recover the topology's
+// ground-truth link parameters.
+#include <gtest/gtest.h>
+
+#include "profiler/profiler.h"
+#include "topo/builders.h"
+
+namespace syccl::profiler {
+namespace {
+
+TEST(Fit, RecoversExactLine) {
+  // t = 5e-6 + 2e-9·s exactly.
+  std::vector<double> sizes{1e3, 1e4, 1e5, 1e6};
+  std::vector<double> times;
+  for (double s : sizes) times.push_back(5e-6 + 2e-9 * s);
+  const LinkProfile p = fit_alpha_beta(sizes, times);
+  EXPECT_NEAR(p.alpha, 5e-6, 1e-12);
+  EXPECT_NEAR(p.beta, 2e-9, 1e-18);
+  EXPECT_NEAR(p.r_squared, 1.0, 1e-9);
+}
+
+TEST(Fit, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_alpha_beta({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_alpha_beta({1.0, 1.0}, {2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(fit_alpha_beta({1.0, 2.0}, {2.0}), std::invalid_argument);
+}
+
+TEST(Profiler, PingMatchesAlphaBetaModel) {
+  const auto topo = topo::build_single_server(4, {1e-6, 1e9});
+  const auto groups = topo::extract_groups(topo);
+  // α + β·s with α = 1 µs, β = 1 ns/B.
+  EXPECT_NEAR(measure_ping(groups, 0, 0, 1000.0), 2e-6, 1e-12);
+  EXPECT_NEAR(measure_ping(groups, 0, 0, 2000.0), 3e-6, 1e-12);
+}
+
+TEST(Profiler, RecoversH800LinkClasses) {
+  const auto topo = topo::build_h800_cluster(2);
+  const auto profiles = profile_topology(topo);
+  ASSERT_EQ(profiles.size(), 3u);  // nvlink, rail, spine
+
+  // Dimension 0: NVLink ≈ 180 GB/s.
+  EXPECT_NEAR(1.0 / profiles[0].beta, 180e9, 5e9);
+  // Dimension 1: 400G NIC ≈ 50 GB/s bottleneck.
+  EXPECT_NEAR(1.0 / profiles[1].beta, 50e9, 5e9);
+  // Latency ordering: network paths have higher α than NVLink.
+  EXPECT_LT(profiles[0].alpha, profiles[1].alpha);
+  EXPECT_LE(profiles[1].alpha, profiles[2].alpha + 1e-9);
+  for (const auto& p : profiles) EXPECT_GT(p.r_squared, 0.999);
+}
+
+TEST(Profiler, CustomProbeSizes) {
+  const auto topo = topo::build_single_server(2);
+  ProfilerOptions opts;
+  opts.probe_sizes = {1e4, 1e6};
+  const auto profiles = profile_topology(topo, opts);
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].samples, 2);
+}
+
+}  // namespace
+}  // namespace syccl::profiler

@@ -1,0 +1,70 @@
+// Tests for the plain-text topology serialisation.
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+#include "topo/groups.h"
+#include "topo/serialize.h"
+
+namespace syccl::topo {
+namespace {
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  const Topology original = topo::build_h800_cluster(2);
+  const Topology parsed = from_text(to_text(original));
+  EXPECT_EQ(parsed.num_nodes(), original.num_nodes());
+  EXPECT_EQ(parsed.num_links(), original.num_links());
+  EXPECT_EQ(parsed.num_gpus(), original.num_gpus());
+  for (std::size_t i = 0; i < original.num_nodes(); ++i) {
+    const Node& a = original.nodes()[i];
+    const Node& b = parsed.nodes()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.server, b.server);
+    EXPECT_EQ(a.name, b.name);
+  }
+  for (std::size_t i = 0; i < original.num_links(); ++i) {
+    EXPECT_NEAR(parsed.links()[i].alpha, original.links()[i].alpha, 1e-12);
+    EXPECT_NEAR(parsed.links()[i].beta, original.links()[i].beta, 1e-18);
+    EXPECT_EQ(parsed.links()[i].kind, original.links()[i].kind);
+  }
+}
+
+TEST(Serialize, RoundTripPreservesGroups) {
+  const Topology original = build_a100_testbed(16);
+  const Topology parsed = from_text(to_text(original));
+  const auto ga = extract_groups(original);
+  const auto gb = extract_groups(parsed);
+  ASSERT_EQ(ga.num_dims(), gb.num_dims());
+  for (int d = 0; d < ga.num_dims(); ++d) {
+    ASSERT_EQ(ga.dims[d].groups.size(), gb.dims[d].groups.size());
+    for (std::size_t g = 0; g < ga.dims[d].groups.size(); ++g) {
+      EXPECT_EQ(ga.dims[d].groups[g].signature(), gb.dims[d].groups[g].signature());
+    }
+  }
+}
+
+TEST(Serialize, ParsesHandWrittenFile) {
+  const std::string text = R"(# two GPUs and a switch
+node gpu 0 0 g0
+node gpu 0 1 g1
+node switch -1 0 sw
+duplex g0 sw 1e-6 1e9 nvlink
+duplex g1 sw 1e-6 1e9 nvlink
+)";
+  const Topology t = from_text(text);
+  EXPECT_EQ(t.num_gpus(), 2u);
+  EXPECT_EQ(t.num_links(), 4u);
+  EXPECT_NEAR(t.links()[0].beta, 1e-9, 1e-15);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW(from_text("frobnicate a b"), std::invalid_argument);
+  EXPECT_THROW(from_text("node gpu 0"), std::invalid_argument);
+  EXPECT_THROW(from_text("node widget 0 0 x"), std::invalid_argument);
+  EXPECT_THROW(from_text("node gpu 0 0 a\nlink a missing 0 1e9 x"), std::invalid_argument);
+  EXPECT_THROW(from_text("node gpu 0 0 a\nnode gpu 0 1 a"), std::invalid_argument);
+  EXPECT_THROW(from_text("node gpu 0 0 a\nnode gpu 0 1 b\nlink a b 0 0 x"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syccl::topo

@@ -1,0 +1,89 @@
+// Tests for the training trace / iteration-time model (Table 6 substrate).
+#include <gtest/gtest.h>
+
+#include "training/iteration.h"
+#include "training/trace.h"
+
+namespace syccl::training {
+namespace {
+
+TrainSetup dp_setup() {
+  TrainSetup s;
+  s.model = gpt3_6p7b();
+  s.mode = Parallelism::DataParallel;
+  s.num_gpus = 16;
+  s.batch_tokens = 40960;
+  return s;
+}
+
+TEST(Trace, DataParallelIsRsPlusAg) {
+  const auto calls = trace_iteration(dp_setup());
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0].kind, coll::CollKind::ReduceScatter);
+  EXPECT_EQ(calls[1].kind, coll::CollKind::AllGather);
+  // bf16 gradients: 2 bytes per parameter.
+  EXPECT_EQ(calls[0].bytes, 2ull * gpt3_6p7b().parameters);
+  EXPECT_EQ(calls[0].count, 1);
+}
+
+TEST(Trace, TensorParallelScalesWithLayers) {
+  TrainSetup s = dp_setup();
+  s.mode = Parallelism::TensorParallel;
+  s.batch_tokens = 8192;
+  const auto calls = trace_iteration(s);
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0].count, 4 * s.model.layers);
+  EXPECT_EQ(calls[1].count, 4 * s.model.layers);
+  // Activation buffer: tokens × hidden × 2 bytes.
+  EXPECT_EQ(calls[0].bytes, 8192ull * 4096 * 2);
+}
+
+TEST(Trace, MaterialiseBuildsCollectives) {
+  const auto calls = trace_iteration(dp_setup());
+  const auto rs = calls[0].materialise(16);
+  EXPECT_EQ(rs.kind(), coll::CollKind::ReduceScatter);
+  EXPECT_EQ(rs.num_ranks(), 16);
+}
+
+TEST(Trace, RejectsBadSetups) {
+  TrainSetup s = dp_setup();
+  s.num_gpus = 1;
+  EXPECT_THROW(trace_iteration(s), std::invalid_argument);
+  s = dp_setup();
+  s.batch_tokens = 0;
+  EXPECT_THROW(trace_iteration(s), std::invalid_argument);
+}
+
+TEST(Iteration, ComputeTimeScalesInversely) {
+  const IterationModel m;
+  TrainSetup s16 = dp_setup();
+  TrainSetup s32 = dp_setup();
+  s32.num_gpus = 32;
+  EXPECT_NEAR(compute_time(s16, m), 2.0 * compute_time(s32, m), 1e-9);
+  // GPT3-6.7B, 40960 tokens, 16×150 TFLOP/s → ~0.69 s of compute.
+  EXPECT_NEAR(compute_time(s16, m), 6.0 * 6.7e9 * 40960 / (16 * 150e12), 1e-6);
+}
+
+TEST(Iteration, FasterCollectivesShrinkIterationTime) {
+  const IterationModel m;
+  const TrainSetup s = dp_setup();
+  const double slow = iteration_time(s, m, [](const coll::Collective&) { return 100e-3; });
+  const double fast = iteration_time(s, m, [](const coll::Collective&) { return 50e-3; });
+  EXPECT_GT(slow, fast);
+  // 2 calls, 50 ms saved each, 50% overlap → 50 ms difference.
+  EXPECT_NEAR(slow - fast, 2 * 50e-3 * (1.0 - m.overlap_dp), 1e-9);
+}
+
+TEST(Iteration, TpCommFullyExposed) {
+  IterationModel m;
+  TrainSetup s = dp_setup();
+  s.mode = Parallelism::TensorParallel;
+  s.batch_tokens = 8192;
+  const double t0 = iteration_time(s, m, [](const coll::Collective&) { return 0.0; });
+  const double t1 = iteration_time(s, m, [](const coll::Collective&) { return 1e-3; });
+  // 256 calls × 1 ms × (1 − 0) = 0.256 s difference.
+  EXPECT_NEAR(t1 - t0, 0.256, 1e-9);
+}
+
+}  // namespace
+}  // namespace syccl::training

@@ -1,0 +1,121 @@
+// Tests for the structural schedule validator.
+#include <gtest/gtest.h>
+
+#include "coll/collective.h"
+#include "runtime/validate.h"
+#include "sim/schedule.h"
+#include "topo/builders.h"
+#include "topo/groups.h"
+
+namespace syccl::runtime {
+namespace {
+
+struct Fixture {
+  topo::Topology topo = topo::build_single_server(4);
+  topo::TopologyGroups groups = topo::extract_groups(topo);
+};
+
+TEST(Validate, AcceptsCorrectBroadcast) {
+  Fixture f;
+  const auto bc = coll::make_broadcast(4, 4096, 0);
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(bc);
+  s.add_op(0, 0, 1);
+  s.add_op(0, 1, 2);
+  s.add_op(0, 0, 3);
+  const auto rep = validate_schedule(s, bc, f.groups);
+  EXPECT_TRUE(rep.ok);
+  EXPECT_TRUE(rep.warnings.empty());
+  EXPECT_DOUBLE_EQ(rep.total_traffic, 3 * 4096.0);
+  EXPECT_DOUBLE_EQ(rep.traffic_per_dim[0], 3 * 4096.0);
+}
+
+TEST(Validate, FlagsUnmetDemand) {
+  Fixture f;
+  const auto bc = coll::make_broadcast(4, 4096, 0);
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(bc);
+  s.add_op(0, 0, 1);
+  const auto rep = validate_schedule(s, bc, f.groups);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.errors.size(), 2u);  // ranks 2 and 3 unmet
+}
+
+TEST(Validate, FlagsSourceWithoutPiece) {
+  Fixture f;
+  const auto bc = coll::make_broadcast(4, 4096, 0);
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(bc);
+  s.add_op(0, 1, 2);  // 1 never received it
+  const auto rep = validate_schedule(s, bc, f.groups);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Validate, WarnsOnRedundantDelivery) {
+  Fixture f;
+  const auto bc = coll::make_broadcast(4, 4096, 0);
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(bc);
+  s.add_op(0, 0, 1);
+  s.add_op(0, 0, 2);
+  s.add_op(0, 0, 3);
+  s.add_op(0, 2, 3);  // 3 already has it
+  const auto rep = validate_schedule(s, bc, f.groups);
+  EXPECT_TRUE(rep.ok);  // demands met; waste is a warning
+  EXPECT_EQ(rep.warnings.size(), 1u);
+}
+
+TEST(Validate, ReduceNeedsAllContributors) {
+  Fixture f;
+  const auto red = coll::make_reduce(4, 4096, 0);
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(red);
+  s.add_op(0, 1, 0);
+  s.add_op(0, 2, 0);
+  const auto partial = validate_schedule(s, red, f.groups);
+  EXPECT_FALSE(partial.ok);  // rank 3 missing
+  s.add_op(0, 3, 0);
+  EXPECT_TRUE(validate_schedule(s, red, f.groups).ok);
+}
+
+TEST(Validate, ReduceViaRelayTree) {
+  Fixture f;
+  const auto red = coll::make_reduce(4, 4096, 0);
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(red);
+  s.add_op(0, 3, 2);  // 2 holds {2,3}
+  s.add_op(0, 2, 1);  // 1 holds {1,2,3}
+  s.add_op(0, 1, 0);  // 0 holds all
+  EXPECT_TRUE(validate_schedule(s, red, f.groups).ok);
+}
+
+TEST(Validate, FlagsBadEndpointsAndPieces) {
+  Fixture f;
+  const auto bc = coll::make_broadcast(4, 4096, 0);
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(bc);
+  s.ops.push_back(sim::TransferOp{7, 0, 1, -1, 0});   // unknown piece
+  s.ops.push_back(sim::TransferOp{0, 0, 9, -1, 0});   // bad rank
+  s.ops.push_back(sim::TransferOp{0, 0, 1, 5, 0});    // bad dim
+  const auto rep = validate_schedule(s, bc, f.groups);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GE(rep.errors.size(), 3u);
+}
+
+TEST(Validate, SplitPiecesCoverDemand) {
+  Fixture f;
+  const auto bc = coll::make_broadcast(2, 4096, 0);
+  const auto topo2 = topo::build_single_server(2);
+  const auto groups2 = topo::extract_groups(topo2);
+  sim::Schedule s;
+  const int a = s.add_piece(sim::Piece{0, 2048.0, 0, false, {}});
+  const int b = s.add_piece(sim::Piece{0, 2048.0, 0, false, {}});
+  s.add_op(a, 0, 1);
+  const auto half = validate_schedule(s, bc, groups2);
+  EXPECT_FALSE(half.ok);  // only half the chunk arrived
+  s.add_op(b, 0, 1);
+  EXPECT_TRUE(validate_schedule(s, bc, groups2).ok);
+}
+
+}  // namespace
+}  // namespace syccl::runtime

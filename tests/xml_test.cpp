@@ -1,0 +1,83 @@
+// Tests for the MSCCL-style XML emitter/parser round trip.
+#include <gtest/gtest.h>
+
+#include "coll/collective.h"
+#include "runtime/xml.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+#include "topo/groups.h"
+
+namespace syccl::runtime {
+namespace {
+
+sim::Schedule sample_schedule() {
+  sim::Schedule s;
+  s.name = "sample";
+  const auto bc = coll::make_broadcast(4, 4096, 0);
+  s.pieces = sim::pieces_for(bc);
+  s.add_op(0, 0, 1, 0, 0);
+  s.add_op(0, 0, 2, -1, 0);
+  s.add_op(0, 1, 3, 0, 1);
+  return s;
+}
+
+TEST(Xml, RoundTripPreservesStructure) {
+  const sim::Schedule s = sample_schedule();
+  const std::string xml = to_xml(s, 4);
+  const sim::Schedule parsed = from_xml(xml);
+  ASSERT_EQ(parsed.pieces.size(), s.pieces.size());
+  ASSERT_EQ(parsed.ops.size(), s.ops.size());
+  for (std::size_t i = 0; i < s.ops.size(); ++i) {
+    EXPECT_EQ(parsed.ops[i].piece, s.ops[i].piece);
+    EXPECT_EQ(parsed.ops[i].src, s.ops[i].src);
+    EXPECT_EQ(parsed.ops[i].dst, s.ops[i].dst);
+    EXPECT_EQ(parsed.ops[i].dim, s.ops[i].dim);
+    EXPECT_EQ(parsed.ops[i].phase, s.ops[i].phase);
+  }
+  EXPECT_EQ(parsed.name, "sample");
+}
+
+TEST(Xml, RoundTripPreservesReducePieces) {
+  sim::Schedule s;
+  s.name = "red";
+  const auto red = coll::make_reduce(3, 3000, 0);
+  s.pieces = sim::pieces_for(red);
+  s.add_op(0, 1, 0);
+  s.add_op(0, 2, 0);
+  const sim::Schedule parsed = from_xml(to_xml(s, 3));
+  ASSERT_EQ(parsed.pieces.size(), 1u);
+  EXPECT_TRUE(parsed.pieces[0].reduce);
+  EXPECT_EQ(parsed.pieces[0].contributors, s.pieces[0].contributors);
+}
+
+TEST(Xml, RoundTripSimulatesIdentically) {
+  const auto topo = topo::build_single_server(4);
+  const auto groups = topo::extract_groups(topo);
+  const sim::Simulator sim(groups);
+  const sim::Schedule s = sample_schedule();
+  const sim::Schedule parsed = from_xml(to_xml(s, 4));
+  EXPECT_DOUBLE_EQ(sim.run(s).makespan, sim.run(parsed).makespan);
+}
+
+TEST(Xml, EmitsRuntimeParameters) {
+  XmlOptions opts;
+  opts.name = "ag16";
+  opts.protocol = "LL128";
+  opts.channels = 4;
+  const std::string xml = to_xml(sample_schedule(), 4, opts);
+  EXPECT_NE(xml.find("proto=\"LL128\""), std::string::npos);
+  EXPECT_NE(xml.find("nchannels=\"4\""), std::string::npos);
+}
+
+TEST(Xml, ParserRejectsMalformedInput) {
+  EXPECT_THROW(from_xml("not xml"), std::invalid_argument);
+  EXPECT_THROW(from_xml("<notalgo></notalgo>"), std::invalid_argument);
+  EXPECT_THROW(from_xml("<algo name=\"x\"><send step=\"0\" /></algo>"), std::invalid_argument);
+  // Send referencing an unknown piece.
+  EXPECT_THROW(from_xml("<algo name=\"x\"><gpu id=\"0\"><send step=\"0\" piece=\"7\" "
+                        "dst=\"1\" dim=\"0\" phase=\"0\" /></gpu></algo>"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syccl::runtime
