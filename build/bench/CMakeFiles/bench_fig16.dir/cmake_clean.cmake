@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16.dir/bench_fig16.cpp.o"
+  "CMakeFiles/bench_fig16.dir/bench_fig16.cpp.o.d"
+  "bench_fig16"
+  "bench_fig16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

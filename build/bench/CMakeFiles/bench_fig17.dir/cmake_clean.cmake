@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17.dir/bench_fig17.cpp.o"
+  "CMakeFiles/bench_fig17.dir/bench_fig17.cpp.o.d"
+  "bench_fig17"
+  "bench_fig17.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirail_allgather.dir/multirail_allgather.cpp.o"
+  "CMakeFiles/multirail_allgather.dir/multirail_allgather.cpp.o.d"
+  "multirail_allgather"
+  "multirail_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirail_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multirail_allgather.
+# This may be replaced when dependencies are built.

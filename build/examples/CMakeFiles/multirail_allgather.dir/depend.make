@@ -1,0 +1,2 @@
+# Empty dependencies file for multirail_allgather.
+# This may be replaced when dependencies are built.

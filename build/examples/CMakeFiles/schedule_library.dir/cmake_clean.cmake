@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_library.dir/schedule_library.cpp.o"
+  "CMakeFiles/schedule_library.dir/schedule_library.cpp.o.d"
+  "schedule_library"
+  "schedule_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_step.dir/training_step.cpp.o"
+  "CMakeFiles/training_step.dir/training_step.cpp.o.d"
+  "training_step"
+  "training_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for training_step.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/crafted.cpp" "src/CMakeFiles/syccl.dir/baselines/crafted.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/baselines/crafted.cpp.o.d"
+  "/root/repo/src/baselines/nccl.cpp" "src/CMakeFiles/syccl.dir/baselines/nccl.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/baselines/nccl.cpp.o.d"
+  "/root/repo/src/baselines/teccl.cpp" "src/CMakeFiles/syccl.dir/baselines/teccl.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/baselines/teccl.cpp.o.d"
+  "/root/repo/src/coll/busbw.cpp" "src/CMakeFiles/syccl.dir/coll/busbw.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/coll/busbw.cpp.o.d"
+  "/root/repo/src/coll/collective.cpp" "src/CMakeFiles/syccl.dir/coll/collective.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/coll/collective.cpp.o.d"
+  "/root/repo/src/coll/decompose.cpp" "src/CMakeFiles/syccl.dir/coll/decompose.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/coll/decompose.cpp.o.d"
+  "/root/repo/src/core/asymmetric.cpp" "src/CMakeFiles/syccl.dir/core/asymmetric.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/core/asymmetric.cpp.o.d"
+  "/root/repo/src/core/cache.cpp" "src/CMakeFiles/syccl.dir/core/cache.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/core/cache.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/CMakeFiles/syccl.dir/core/merge.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/core/merge.cpp.o.d"
+  "/root/repo/src/core/subdemand.cpp" "src/CMakeFiles/syccl.dir/core/subdemand.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/core/subdemand.cpp.o.d"
+  "/root/repo/src/core/synthesizer.cpp" "src/CMakeFiles/syccl.dir/core/synthesizer.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/core/synthesizer.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/CMakeFiles/syccl.dir/lp/simplex.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/lp/simplex.cpp.o.d"
+  "/root/repo/src/milp/branch_and_bound.cpp" "src/CMakeFiles/syccl.dir/milp/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/milp/branch_and_bound.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "src/CMakeFiles/syccl.dir/profiler/profiler.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/profiler/profiler.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/syccl.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/validate.cpp" "src/CMakeFiles/syccl.dir/runtime/validate.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/runtime/validate.cpp.o.d"
+  "/root/repo/src/runtime/xml.cpp" "src/CMakeFiles/syccl.dir/runtime/xml.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/runtime/xml.cpp.o.d"
+  "/root/repo/src/sim/analyze.cpp" "src/CMakeFiles/syccl.dir/sim/analyze.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/sim/analyze.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/CMakeFiles/syccl.dir/sim/schedule.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/sim/schedule.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/syccl.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sketch/alltoall.cpp" "src/CMakeFiles/syccl.dir/sketch/alltoall.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/sketch/alltoall.cpp.o.d"
+  "/root/repo/src/sketch/combine.cpp" "src/CMakeFiles/syccl.dir/sketch/combine.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/sketch/combine.cpp.o.d"
+  "/root/repo/src/sketch/prune.cpp" "src/CMakeFiles/syccl.dir/sketch/prune.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/sketch/prune.cpp.o.d"
+  "/root/repo/src/sketch/replicate.cpp" "src/CMakeFiles/syccl.dir/sketch/replicate.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/sketch/replicate.cpp.o.d"
+  "/root/repo/src/sketch/search.cpp" "src/CMakeFiles/syccl.dir/sketch/search.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/sketch/search.cpp.o.d"
+  "/root/repo/src/sketch/sketch.cpp" "src/CMakeFiles/syccl.dir/sketch/sketch.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/sketch/sketch.cpp.o.d"
+  "/root/repo/src/solver/epoch_model.cpp" "src/CMakeFiles/syccl.dir/solver/epoch_model.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/solver/epoch_model.cpp.o.d"
+  "/root/repo/src/solver/greedy.cpp" "src/CMakeFiles/syccl.dir/solver/greedy.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/solver/greedy.cpp.o.d"
+  "/root/repo/src/solver/milp_scheduler.cpp" "src/CMakeFiles/syccl.dir/solver/milp_scheduler.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/solver/milp_scheduler.cpp.o.d"
+  "/root/repo/src/solver/tau.cpp" "src/CMakeFiles/syccl.dir/solver/tau.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/solver/tau.cpp.o.d"
+  "/root/repo/src/topo/builders.cpp" "src/CMakeFiles/syccl.dir/topo/builders.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/topo/builders.cpp.o.d"
+  "/root/repo/src/topo/groups.cpp" "src/CMakeFiles/syccl.dir/topo/groups.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/topo/groups.cpp.o.d"
+  "/root/repo/src/topo/isomorphism.cpp" "src/CMakeFiles/syccl.dir/topo/isomorphism.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/topo/isomorphism.cpp.o.d"
+  "/root/repo/src/topo/serialize.cpp" "src/CMakeFiles/syccl.dir/topo/serialize.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/topo/serialize.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/syccl.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/training/iteration.cpp" "src/CMakeFiles/syccl.dir/training/iteration.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/training/iteration.cpp.o.d"
+  "/root/repo/src/training/trace.cpp" "src/CMakeFiles/syccl.dir/training/trace.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/training/trace.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/syccl.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "src/CMakeFiles/syccl.dir/util/stopwatch.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/util/stopwatch.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/syccl.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/syccl.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analyze_test.cpp" "tests/CMakeFiles/syccl_tests.dir/analyze_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/analyze_test.cpp.o.d"
+  "/root/repo/tests/asymmetric_test.cpp" "tests/CMakeFiles/syccl_tests.dir/asymmetric_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/asymmetric_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/syccl_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/cache_test.cpp" "tests/CMakeFiles/syccl_tests.dir/cache_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/cache_test.cpp.o.d"
+  "/root/repo/tests/coll_test.cpp" "tests/CMakeFiles/syccl_tests.dir/coll_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/coll_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/syccl_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/executor_test.cpp" "tests/CMakeFiles/syccl_tests.dir/executor_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/syccl_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/heterogeneous_test.cpp" "tests/CMakeFiles/syccl_tests.dir/heterogeneous_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/heterogeneous_test.cpp.o.d"
+  "/root/repo/tests/lp_test.cpp" "tests/CMakeFiles/syccl_tests.dir/lp_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/lp_test.cpp.o.d"
+  "/root/repo/tests/milp_test.cpp" "tests/CMakeFiles/syccl_tests.dir/milp_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/milp_test.cpp.o.d"
+  "/root/repo/tests/profiler_test.cpp" "tests/CMakeFiles/syccl_tests.dir/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/profiler_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/syccl_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/syccl_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/sim_more_test.cpp" "tests/CMakeFiles/syccl_tests.dir/sim_more_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/sim_more_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/syccl_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/sketch_more_test.cpp" "tests/CMakeFiles/syccl_tests.dir/sketch_more_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/sketch_more_test.cpp.o.d"
+  "/root/repo/tests/sketch_test.cpp" "tests/CMakeFiles/syccl_tests.dir/sketch_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/sketch_test.cpp.o.d"
+  "/root/repo/tests/solver_test.cpp" "tests/CMakeFiles/syccl_tests.dir/solver_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/solver_test.cpp.o.d"
+  "/root/repo/tests/synthesizer_test.cpp" "tests/CMakeFiles/syccl_tests.dir/synthesizer_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/synthesizer_test.cpp.o.d"
+  "/root/repo/tests/topo_test.cpp" "tests/CMakeFiles/syccl_tests.dir/topo_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/topo_test.cpp.o.d"
+  "/root/repo/tests/training_test.cpp" "tests/CMakeFiles/syccl_tests.dir/training_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/training_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/syccl_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/validate_test.cpp" "tests/CMakeFiles/syccl_tests.dir/validate_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/validate_test.cpp.o.d"
+  "/root/repo/tests/xml_test.cpp" "tests/CMakeFiles/syccl_tests.dir/xml_test.cpp.o" "gcc" "tests/CMakeFiles/syccl_tests.dir/xml_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/syccl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
