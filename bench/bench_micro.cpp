@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "coll/collective.h"
+#include "core/synthesizer.h"
 #include "lp/simplex.h"
 #include "sim/schedule.h"
 #include "sim/simulator.h"
@@ -11,6 +12,7 @@
 #include "sketch/search.h"
 #include "solver/greedy.h"
 #include "solver/milp_scheduler.h"
+#include "solver/solve_cache.h"
 #include "solver/tau.h"
 #include "topo/builders.h"
 #include "topo/groups.h"
@@ -119,6 +121,70 @@ void BM_MilpSubDemandBroadcast(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MilpSubDemandBroadcast)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_MilpEncode(benchmark::State& state) {
+  // The encode step in isolation (variable tables + constraint emission);
+  // the satellite target of the flat-key Encoding rewrite.
+  const int n = static_cast<int>(state.range(0));
+  const auto topo = topo::build_single_server(n);
+  const auto groups = topo::extract_groups(topo);
+  const auto& gt = groups.dims[0].groups[0];
+  solver::SubDemand demand;
+  demand.group = &gt;
+  demand.piece_bytes = 1 << 16;
+  solver::DemandPiece p;
+  p.id = 0;
+  p.srcs = {0};
+  for (int d = 1; d < n; ++d) p.dsts.push_back(d);
+  demand.pieces.push_back(std::move(p));
+  const auto ep = solver::derive_epoch_params(gt, demand.piece_bytes, 1.0);
+  const int horizon = solver::solve_greedy(demand, ep).num_epochs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::encode_sub_demand_binaries(demand, 1.0, horizon));
+  }
+}
+BENCHMARK(BM_MilpEncode)->Arg(4)->Arg(8)->Arg(16);
+
+core::SynthesisConfig synth_bench_config(bool use_cache) {
+  core::SynthesisConfig cfg;
+  cfg.sketch.search.max_sketches = 32;
+  cfg.sketch.max_prototypes = 4;
+  cfg.sketch.combine.max_outputs = 10;
+  cfg.coarse_solver.time_limit_s = 0.1;
+  cfg.fine_solver.time_limit_s = 0.2;
+  cfg.use_solve_cache = use_cache;
+  return cfg;
+}
+
+void BM_SynthesizeAllGatherColdCache(benchmark::State& state) {
+  // End-to-end Synthesizer::synthesize with the solve cache cleared every
+  // iteration — the cost of a first-ever synthesis.
+  const auto topo = topo::build_h800_cluster(2);
+  const auto coll = coll::make_allgather(16, 16 << 20);
+  for (auto _ : state) {
+    solver::SubScheduleCache::instance().clear();
+    core::Synthesizer synth(topo, synth_bench_config(true));
+    benchmark::DoNotOptimize(synth.synthesize(coll).predicted_time);
+  }
+}
+BENCHMARK(BM_SynthesizeAllGatherColdCache)->Unit(benchmark::kMillisecond);
+
+void BM_SynthesizeAllGatherWarmCache(benchmark::State& state) {
+  // Same synthesis with a warm process-wide cache — the steady-state cost
+  // inside a size sweep or repeated ScheduleLibrary misses.
+  const auto topo = topo::build_h800_cluster(2);
+  const auto coll = coll::make_allgather(16, 16 << 20);
+  solver::SubScheduleCache::instance().clear();
+  {
+    core::Synthesizer warmup(topo, synth_bench_config(true));
+    warmup.synthesize(coll);
+  }
+  for (auto _ : state) {
+    core::Synthesizer synth(topo, synth_bench_config(true));
+    benchmark::DoNotOptimize(synth.synthesize(coll).predicted_time);
+  }
+}
+BENCHMARK(BM_SynthesizeAllGatherWarmCache)->Unit(benchmark::kMillisecond);
 
 void BM_SimplexLp(benchmark::State& state) {
   // A transportation LP scaled by the argument.

@@ -51,7 +51,10 @@ const SynthesisResult& ScheduleLibrary::get(const coll::Collective& coll) {
   const std::string key = schedule_key(synth_.groups(), coll);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
+    ++counters_.misses;
     it = entries_.emplace(key, synth_.synthesize(coll)).first;
+  } else {
+    ++counters_.hits;
   }
   return it->second;
 }

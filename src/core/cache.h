@@ -7,11 +7,13 @@
 // identical cluster hits the cache.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
 #include "coll/collective.h"
 #include "core/synthesizer.h"
+#include "solver/solve_cache.h"
 
 namespace syccl::core {
 
@@ -28,6 +30,13 @@ class ScheduleLibrary {
   /// outlive the library.
   explicit ScheduleLibrary(Synthesizer& synth);
 
+  /// Running lookup counters of get(). The library is the whole-schedule
+  /// layer; sub-demand reuse below it shows up in solve_cache_stats().
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
   /// Returns the cached result for `coll`, synthesizing on first use.
   const SynthesisResult& get(const coll::Collective& coll);
 
@@ -35,6 +44,14 @@ class ScheduleLibrary {
   bool contains(const coll::Collective& coll) const;
 
   std::size_t size() const { return entries_.size(); }
+
+  Counters counters() const { return counters_; }
+
+  /// Snapshot of the process-wide sub-demand solve cache that backs every
+  /// synthesis this library triggers (hits/misses/bytes; §5.3 reuse layer).
+  solver::SubScheduleCache::Stats solve_cache_stats() const {
+    return solver::SubScheduleCache::instance().stats();
+  }
 
   /// Persists every cached schedule as MSCCL-style XML plus an index file
   /// under `dir` (created if missing). Returns the number of files written.
@@ -47,6 +64,7 @@ class ScheduleLibrary {
  private:
   Synthesizer& synth_;
   std::map<std::string, SynthesisResult> entries_;
+  Counters counters_;
 };
 
 }  // namespace syccl::core

@@ -1,12 +1,14 @@
 #include "core/synthesizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <map>
 #include <stdexcept>
 
 #include "coll/decompose.h"
+#include "solver/solve_cache.h"
 #include "core/merge.h"
 #include "core/subdemand.h"
 #include "sketch/replicate.h"
@@ -30,9 +32,12 @@ struct Candidate {
 };
 
 /// Isomorphism-class registry shared by all candidates of one synthesis.
+/// Owns copies of its representative demands so interning never depends on
+/// candidate storage staying put (candidates move while being collected and
+/// are evaluated concurrently later).
 struct ClassRegistry {
   std::map<std::string, int> index_of;
-  std::vector<const solver::SubDemand*> representative;
+  std::vector<solver::SubDemand> representative;
 
   int intern(const solver::SubDemand& demand) {
     const std::string key = demand.isomorphism_key();
@@ -40,7 +45,7 @@ struct ClassRegistry {
     if (it != index_of.end()) return it->second;
     const int id = static_cast<int>(representative.size());
     index_of.emplace(key, id);
-    representative.push_back(&demand);
+    representative.push_back(demand);
     return id;
   }
 };
@@ -90,8 +95,19 @@ SynthesisResult Synthesizer::synthesize(const coll::Collective& coll) {
     }
     case CollKind::AllReduce: {
       const auto [rs, ag] = coll::allreduce_phases(coll);
-      SynthesisResult first = synthesize(rs);
-      SynthesisResult second = synthesize(ag);
+      // The phases are independent syntheses, so they run concurrently on
+      // the pool (parallel_for is re-entrant). The RS phase is the reversed
+      // twin of the AG phase, so their sub-demand classes coincide — the
+      // solve cache's in-flight dedup makes whichever phase gets there
+      // second reuse the first phase's solves instead of duplicating them.
+      SynthesisResult first, second;
+      pool_.parallel_for(2, [&](std::size_t i) {
+        if (i == 0) {
+          first = synthesize(rs);
+        } else {
+          second = synthesize(ag);
+        }
+      });
       SynthesisResult out;
       out.schedule = std::move(first.schedule);
       out.schedule.append_sequential(second.schedule);
@@ -108,6 +124,10 @@ SynthesisResult Synthesizer::synthesize(const coll::Collective& coll) {
       out.breakdown.num_solver_calls += second.breakdown.num_solver_calls;
       out.breakdown.max_solve_s =
           std::max(out.breakdown.max_solve_s, second.breakdown.max_solve_s);
+      out.breakdown.cache_hits += second.breakdown.cache_hits;
+      out.breakdown.cache_misses += second.breakdown.cache_misses;
+      out.breakdown.cache_bytes =
+          std::max(out.breakdown.cache_bytes, second.breakdown.cache_bytes);
       out.chosen = first.chosen + " ++ " + second.chosen;
       return out;
     }
@@ -170,15 +190,12 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
     Candidate cand;
     cand.combo = combo;
     cand.plan = build_demand_plan(combo, coll, groups_);
-    cand.demand_class.assign(cand.plan.demands.size(), 0);  // interned below
+    cand.demand_class.reserve(cand.plan.demands.size());
+    for (const auto& md : cand.plan.demands) {
+      cand.demand_class.push_back(registry.intern(md.demand));
+    }
     breakdown.num_subdemands += static_cast<int>(cand.plan.demands.size());
     candidates.push_back(std::move(cand));
-  }
-  // Intern after plans stopped moving (registry stores demand pointers).
-  for (auto& cand : candidates) {
-    for (std::size_t di = 0; di < cand.plan.demands.size(); ++di) {
-      cand.demand_class[di] = registry.intern(cand.plan.demands[di].demand);
-    }
   }
 
   auto solve_classes = [&](const solver::MilpSchedulerOptions& base_opts, double E,
@@ -192,15 +209,23 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
     }
     out.resize(registry.representative.size());
     std::vector<double> solve_times(todo.size(), 0.0);
+    std::atomic<int> hits{0};
     pool_.parallel_for(todo.size(), [&](std::size_t i) {
-      const int c = todo[i];
+      const std::size_t c = static_cast<std::size_t>(todo[i]);
       solver::SolveStats stats;
-      out[static_cast<std::size_t>(c)] =
-          solver::solve_sub_demand(*registry.representative[static_cast<std::size_t>(c)], opts,
-                                   &stats);
+      out[c] = config_.use_solve_cache
+                   ? solver::SubScheduleCache::instance().get_or_solve(
+                         registry.representative[c], opts, &stats)
+                   : solver::solve_sub_demand(registry.representative[c], opts, &stats);
+      if (stats.cache_hit) hits.fetch_add(1);
       solve_times[i] = stats.solve_seconds;
     });
-    breakdown.num_solver_calls += static_cast<int>(todo.size());
+    const int n_hits = hits.load();
+    breakdown.num_solver_calls += static_cast<int>(todo.size()) - n_hits;
+    if (config_.use_solve_cache) {
+      breakdown.cache_hits += n_hits;
+      breakdown.cache_misses += static_cast<int>(todo.size()) - n_hits;
+    }
     for (double t : solve_times) breakdown.max_solve_s = std::max(breakdown.max_solve_s, t);
   };
 
@@ -247,7 +272,13 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
     }
   };
 
-  for (auto& cand : candidates) evaluate(cand, coarse_solutions, "coarse");
+  // Each coarse evaluation (merge + simulate) is independent and the
+  // simulator is const, so candidates run on the pool. Determinism: every
+  // candidate's predicted time depends only on its own inputs, and the
+  // selection below walks candidates in index order.
+  pool_.parallel_for(candidates.size(), [&](std::size_t i) {
+    evaluate(candidates[i], coarse_solutions, "coarse");
+  });
   breakdown.solve1_s = phase_clock.elapsed_seconds();
 
   // ---- Candidate filter: within R1 of the best, at most R2 (§5.3).
@@ -283,13 +314,21 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
     final_solutions = &fine_solutions;
   }
 
+  // Fine evaluation (merge + simulate + issue-order tuning) also runs on the
+  // pool; the winner is then picked sequentially by predicted time with a
+  // stable index tie-break, so the choice is independent of completion order.
+  std::vector<sim::Schedule> fine_schedules(survivors.size());
+  pool_.parallel_for(survivors.size(), [&](std::size_t i) {
+    fine_schedules[i] = evaluate(*survivors[i], *final_solutions, "fine");
+  });
+
   SynthesisResult result;
   double best = std::numeric_limits<double>::infinity();
-  for (Candidate* cand : survivors) {
-    sim::Schedule sched = evaluate(*cand, *final_solutions, "fine");
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    Candidate* cand = survivors[i];
     if (cand->valid && cand->predicted < best) {
       best = cand->predicted;
-      result.schedule = std::move(sched);
+      result.schedule = std::move(fine_schedules[i]);
       result.predicted_time = cand->predicted;
       result.chosen = cand->combo.describe();
     }
@@ -299,6 +338,9 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
   }
   breakdown.solve2_s = phase_clock.elapsed_seconds();
   breakdown.total_s = total_clock.elapsed_seconds();
+  if (config_.use_solve_cache) {
+    breakdown.cache_bytes = solver::SubScheduleCache::instance().stats().bytes;
+  }
   result.schedule.name = "syccl";
   result.breakdown = breakdown;
   return result;

@@ -7,9 +7,13 @@
 // candidates within R₁ of the best, at most R₂ of them), merge the
 // sub-schedules, rank the complete schedules with the α–β simulator, and
 // return the best (§5). Sub-demand solves are deduplicated by isomorphism
-// class and run on a thread pool (§5.3).
+// class, memoised process-wide (solver::SubScheduleCache) and run on a
+// thread pool alongside parallel candidate evaluation (§5.3); selection
+// stays deterministic — candidates are ranked by predicted time with a
+// stable index tie-break, independent of task completion order.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -46,8 +50,15 @@ struct SynthesisConfig {
   /// Simulator options used for candidate ranking.
   sim::SimOptions sim;
 
-  /// Worker threads for parallel sub-demand solving (0 = hardware).
+  /// Worker threads for parallel sub-demand solving and candidate
+  /// evaluation (0 = hardware).
   int num_threads = 0;
+
+  /// Memoise sub-demand solves in the process-wide
+  /// solver::SubScheduleCache: reuse spans candidates, the RS/AG phases of
+  /// AllReduce, repeated synthesize() calls and size sweeps. Disable for
+  /// A/B measurements; results are identical either way.
+  bool use_solve_cache = true;
 };
 
 /// Wall-clock breakdown of one synthesis call (Fig. 16(b)).
@@ -59,10 +70,17 @@ struct SynthesisBreakdown {
   double total_s = 0.0;
   int num_combinations = 0;
   int num_subdemands = 0;
-  /// Solver invocations after isomorphism-class deduplication.
+  /// Solver invocations after isomorphism-class deduplication *and* solve
+  /// caching — i.e. solves that actually ran.
   int num_solver_calls = 0;
   /// Longest single sub-demand solve (Fig. 17(c) metric).
   double max_solve_s = 0.0;
+  /// SubScheduleCache traffic of this synthesis (0/0 when the cache is
+  /// disabled). hits + misses = deduplicated classes that were needed.
+  int cache_hits = 0;
+  int cache_misses = 0;
+  /// Resident bytes of the process-wide solve cache after this synthesis.
+  std::size_t cache_bytes = 0;
 };
 
 struct SynthesisResult {

@@ -41,6 +41,10 @@ struct SimResult {
   std::size_t num_events = 0;
 };
 
+/// Immutable after construction: run/time_collective/tune_issue_order are
+/// const and keep all working state on the stack, so one Simulator may rank
+/// many candidate schedules concurrently (core::Synthesizer's parallel
+/// evaluation relies on this).
 class Simulator {
  public:
   explicit Simulator(const topo::TopologyGroups& groups, SimOptions opts = {});

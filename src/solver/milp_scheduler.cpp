@@ -1,9 +1,11 @@
 #include "solver/milp_scheduler.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "milp/branch_and_bound.h"
@@ -16,16 +18,56 @@ namespace syccl::solver {
 
 namespace {
 
+/// Packed (p, i, j, t) keys for the per-solve variable tables. 16 bits per
+/// field is far beyond anything the binary-count gate lets through.
+inline std::uint64_t pack4(int a, int b, int c, int d) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(a)) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(b)) << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(c)) << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(d));
+}
+// pack3 reuses the pack4 layout with j = 0, so the key_* extractors below
+// read both x (p,i,j,t) and has (p,i,t) keys uniformly.
+inline std::uint64_t pack3(int a, int b, int c) { return pack4(a, b, 0, c); }
+
+/// Insertion-ordered hash table from packed key to variable id: O(1) lookups
+/// on the encode hot path, while `list` preserves the deterministic emission
+/// order the constraint builders (and thus B&B) rely on.
+struct VarTable {
+  std::unordered_map<std::uint64_t, int> id;
+  std::vector<std::pair<std::uint64_t, int>> list;  ///< insertion order
+
+  void add(std::uint64_t key, int var) {
+    id.emplace(key, var);
+    list.emplace_back(key, var);
+  }
+  int at(std::uint64_t key) const {
+    const auto it = id.find(key);
+    if (it == id.end()) throw std::logic_error("missing encoding variable");
+    return it->second;
+  }
+  const int* find(std::uint64_t key) const {
+    const auto it = id.find(key);
+    return it == id.end() ? nullptr : &it->second;
+  }
+};
+
 /// Variable bookkeeping for one encoded sub-demand.
 struct Encoding {
   milp::MilpProblem problem;
-  // x[(p, i, j, t)] and has[(p, i, t)] variable ids.
-  std::map<std::tuple<int, int, int, int>, int> x;
-  std::map<std::tuple<int, int, int>, int> has;
+  // x keyed by pack4(p, i, j, t); has keyed by pack3(p, i, t).
+  VarTable x;
+  VarTable has;
   std::vector<int> done;  ///< done[t-1] for t = 1..T
   int horizon = 0;
   int binaries = 0;
 };
+
+/// Field extractors for the packed keys.
+inline int key_p(std::uint64_t k) { return static_cast<int>((k >> 48) & 0xffff); }
+inline int key_i(std::uint64_t k) { return static_cast<int>((k >> 32) & 0xffff); }
+inline int key_j(std::uint64_t k) { return static_cast<int>((k >> 16) & 0xffff); }
+inline int key_t(std::uint64_t k) { return static_cast<int>(k & 0xffff); }
 
 Encoding encode(const SubDemand& demand, const EpochParams& ep, int horizon) {
   const topo::GroupTopology& g = *demand.group;
@@ -57,13 +99,13 @@ Encoding encode(const SubDemand& demand, const EpochParams& ep, int horizon) {
         const bool must_end = (t == T && dstset.count(i) != 0);
         const double lo = (is_src || must_end) ? 1.0 : 0.0;
         const double hi = (is_src || t > 0) ? 1.0 : 0.0;  // has[·][·][0] = 0 unless src
-        enc.has[{p, i, t}] = pb.add_var(lo, hi, 0.0);
+        enc.has.add(pack3(p, i, t), pb.add_var(lo, hi, 0.0));
       }
       if (dstset.count(i) == 0 && srcset.count(i) == 0) continue;
       for (int j : dp.dsts) {
         if (j == i) continue;
         for (int t = 0; t + ep.lat_epochs <= T; ++t) {
-          enc.x[{p, i, j, t}] = pb.add_var(0.0, 1.0, kSendCost);
+          enc.x.add(pack4(p, i, j, t), pb.add_var(0.0, 1.0, kSendCost));
           ++enc.binaries;
         }
       }
@@ -77,27 +119,26 @@ Encoding encode(const SubDemand& demand, const EpochParams& ep, int horizon) {
   enc.problem.is_integer.assign(static_cast<std::size_t>(pb.num_vars), true);
 
   // Monotonicity: has[p][i][t] ≤ has[p][i][t+1].
-  for (const auto& [key, var] : enc.has) {
-    const auto [p, i, t] = key;
+  for (const auto& [key, var] : enc.has.list) {
+    const int p = key_p(key), i = key_i(key), t = key_t(key);
     if (t == 0) continue;
-    const int prev = enc.has.at({p, i, t - 1});
+    const int prev = enc.has.at(pack3(p, i, t - 1));
     pb.add_constraint({{{prev, 1.0}, {var, -1.0}}, lp::Relation::LessEq, 0.0});
   }
   // Sends require availability: x[p][i][j][t] ≤ has[p][i][t].
-  for (const auto& [key, var] : enc.x) {
-    const auto [p, i, j, t] = key;
-    (void)j;
-    pb.add_constraint({{{var, 1.0}, {enc.has.at({p, i, t}), -1.0}}, lp::Relation::LessEq, 0.0});
+  for (const auto& [key, var] : enc.x.list) {
+    const int p = key_p(key), i = key_i(key), t = key_t(key);
+    pb.add_constraint(
+        {{{var, 1.0}, {enc.has.at(pack3(p, i, t)), -1.0}}, lp::Relation::LessEq, 0.0});
   }
   // Arrival: has[p][j][t] ≤ has[p][j][t-1] + Σ_i x[p][i][j][t-L].
-  std::map<std::tuple<int, int, int>, std::vector<int>> inbound;  // (p, j, ts) → x vars
-  for (const auto& [key, var] : enc.x) {
-    const auto [p, i, j, t] = key;
-    (void)i;
-    inbound[{p, j, t}].push_back(var);
+  std::unordered_map<std::uint64_t, std::vector<int>> inbound;  // pack3(p, j, ts) → x vars
+  inbound.reserve(enc.x.list.size());
+  for (const auto& [key, var] : enc.x.list) {
+    inbound[pack3(key_p(key), key_j(key), key_t(key))].push_back(var);
   }
-  for (const auto& [key, var] : enc.has) {
-    const auto [p, j, t] = key;
+  for (const auto& [key, var] : enc.has.list) {
+    const int p = key_p(key), j = key_i(key), t = key_t(key);
     if (t == 0) continue;
     const DemandPiece& dp = demand.pieces[static_cast<std::size_t>(p)];
     if (std::find(dp.srcs.begin(), dp.srcs.end(), j) != dp.srcs.end()) {
@@ -105,10 +146,10 @@ Encoding encode(const SubDemand& demand, const EpochParams& ep, int horizon) {
     }
     lp::Constraint c;
     c.terms.push_back({var, 1.0});
-    c.terms.push_back({enc.has.at({p, j, t - 1}), -1.0});
+    c.terms.push_back({enc.has.at(pack3(p, j, t - 1)), -1.0});
     const int ts = t - ep.lat_epochs;
     if (ts >= 0) {
-      const auto iit = inbound.find({p, j, ts});
+      const auto iit = inbound.find(pack3(p, j, ts));
       if (iit != inbound.end()) {
         for (int xvar : iit->second) c.terms.push_back({xvar, -1.0});
       }
@@ -120,9 +161,8 @@ Encoding encode(const SubDemand& demand, const EpochParams& ep, int horizon) {
   // Port capacities: for every physical port/direction and epoch t, sends
   // started in (t-O, t] occupy it; total ≤ C.
   std::map<std::pair<int, int>, std::vector<std::pair<int, int>>> sends_by_port;
-  for (const auto& [key, var] : enc.x) {
-    const auto [p, i, j, t] = key;
-    (void)p;
+  for (const auto& [key, var] : enc.x.list) {
+    const int i = key_i(key), j = key_j(key), t = key_t(key);
     sends_by_port[{g.up[static_cast<std::size_t>(i)].port_id, 0}].push_back({var, t});
     sends_by_port[{g.down[static_cast<std::size_t>(j)].port_id, 1}].push_back({var, t});
   }
@@ -144,7 +184,8 @@ Encoding encode(const SubDemand& demand, const EpochParams& ep, int horizon) {
     const int dv = enc.done[static_cast<std::size_t>(t - 1)];
     for (int p = 0; p < np; ++p) {
       for (int d : demand.pieces[static_cast<std::size_t>(p)].dsts) {
-        pb.add_constraint({{{dv, 1.0}, {enc.has.at({p, d, t}), -1.0}}, lp::Relation::LessEq, 0.0});
+        pb.add_constraint(
+            {{{dv, 1.0}, {enc.has.at(pack3(p, d, t)), -1.0}}, lp::Relation::LessEq, 0.0});
       }
     }
   }
@@ -163,14 +204,14 @@ std::vector<double> incumbent_vector(const Encoding& enc, const SubDemand& deman
   for (const auto& op : sched.ops) {
     auto [it, inserted] = arrival.try_emplace({op.piece, op.dst}, op.start_epoch + ep.lat_epochs);
     if (!inserted) it->second = std::min(it->second, op.start_epoch + ep.lat_epochs);
-    const auto xit = enc.x.find({op.piece, op.src, op.dst, op.start_epoch});
-    if (xit == enc.x.end()) throw std::logic_error("incumbent op outside encoding");
-    x0[static_cast<std::size_t>(xit->second)] = 1.0;
+    const int* xvar = enc.x.find(pack4(op.piece, op.src, op.dst, op.start_epoch));
+    if (xvar == nullptr) throw std::logic_error("incumbent op outside encoding");
+    x0[static_cast<std::size_t>(*xvar)] = 1.0;
   }
-  for (const auto& [key, var] : enc.has) {
-    const auto [p, i, t] = key;
-    const auto it = arrival.find({p, i});
-    x0[static_cast<std::size_t>(var)] = (it != arrival.end() && it->second <= t) ? 1.0 : 0.0;
+  for (const auto& [key, var] : enc.has.list) {
+    const auto it = arrival.find({key_p(key), key_i(key)});
+    x0[static_cast<std::size_t>(var)] =
+        (it != arrival.end() && it->second <= key_t(key)) ? 1.0 : 0.0;
   }
   for (int t = 1; t <= enc.horizon; ++t) {
     bool all = true;
@@ -193,11 +234,9 @@ std::vector<double> incumbent_vector(const Encoding& enc, const SubDemand& deman
 SubSchedule decode(const Encoding& enc, const EpochParams& ep, const std::vector<double>& x) {
   SubSchedule out;
   out.params = ep;
-  std::map<std::pair<int, int>, int> arrival;
-  for (const auto& [key, var] : enc.x) {
+  for (const auto& [key, var] : enc.x.list) {
     if (x[static_cast<std::size_t>(var)] > 0.5) {
-      const auto [p, i, j, t] = key;
-      out.ops.push_back(SubOp{p, i, j, t});
+      out.ops.push_back(SubOp{key_p(key), key_i(key), key_j(key), key_t(key)});
     }
   }
   std::stable_sort(out.ops.begin(), out.ops.end(),
@@ -269,6 +308,12 @@ SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions
   local.solve_seconds = clock.elapsed_seconds();
   if (stats != nullptr) *stats = local;
   return best;
+}
+
+int encode_sub_demand_binaries(const SubDemand& demand, double E, int horizon) {
+  demand.validate();
+  const EpochParams ep = derive_epoch_params(*demand.group, demand.piece_bytes, E);
+  return encode(demand, ep, horizon).binaries;
 }
 
 }  // namespace syccl::solver

@@ -32,6 +32,8 @@ struct MilpSchedulerOptions {
 struct SolveStats {
   bool used_milp = false;
   bool milp_improved = false;
+  /// Served from the process-wide SubScheduleCache without solving.
+  bool cache_hit = false;
   double solve_seconds = 0.0;
   long nodes_explored = 0;
   int binaries = 0;
@@ -42,5 +44,11 @@ struct SolveStats {
 /// greedy incumbent. Returns the best feasible schedule found.
 SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions& options = {},
                              SolveStats* stats = nullptr);
+
+/// Builds the epoch-model MILP encoding of `demand` over `horizon` epochs
+/// (E controls τ) and returns its binary-variable count. Exposed so
+/// bench_micro can track the encode step in isolation; solving goes through
+/// solve_sub_demand.
+int encode_sub_demand_binaries(const SubDemand& demand, double E, int horizon);
 
 }  // namespace syccl::solver

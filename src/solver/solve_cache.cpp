@@ -1,0 +1,134 @@
+#include "solver/solve_cache.h"
+
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace syccl::solver {
+
+SubScheduleCache::SubScheduleCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+SubScheduleCache& SubScheduleCache::instance() {
+  static SubScheduleCache cache;
+  return cache;
+}
+
+std::string SubScheduleCache::options_fingerprint(const MilpSchedulerOptions& options) {
+  // hexfloat keeps the digest exact; every field below can change the solved
+  // schedule (E via τ, limits via incumbent survival, gates via MILP skips).
+  std::ostringstream os;
+  os << std::hexfloat << "E=" << options.E << ";tl=" << options.time_limit_s
+     << ";nl=" << options.node_limit << ";mb=" << options.max_binaries
+     << ";g=" << static_cast<int>(options.greedy_only);
+  return os.str();
+}
+
+SubScheduleCache::Shard& SubScheduleCache::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+void SubScheduleCache::evict_locked(Shard& shard) {
+  const std::size_t budget = max_bytes_ / kNumShards;
+  while (shard.bytes > budget) {
+    auto victim = shard.map.end();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
+      if (it->second.ready && it->second.last_used < oldest) {
+        oldest = it->second.last_used;
+        victim = it;
+      }
+    }
+    if (victim == shard.map.end()) return;  // only in-flight entries left
+    shard.bytes -= victim->second.bytes;
+    shard.map.erase(victim);
+    ++shard.evictions;
+  }
+}
+
+SubSchedule SubScheduleCache::get_or_solve(const SubDemand& demand,
+                                           const MilpSchedulerOptions& options,
+                                           SolveStats* stats) {
+  const std::string key = demand.isomorphism_key() + '\n' + options_fingerprint(options);
+  Shard& shard = shard_for(key);
+
+  std::promise<SubSchedule> promise;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      ++shard.hits;
+      it->second.last_used = ++shard.tick;
+      std::shared_future<SubSchedule> future = it->second.future;
+      // get() outside the lock: an in-flight entry blocks until the solving
+      // thread publishes, which never takes this shard's mutex first.
+      lock.unlock();
+      if (stats != nullptr) {
+        *stats = SolveStats{};
+        stats->cache_hit = true;
+      }
+      return future.get();
+    }
+    ++shard.misses;
+    Entry entry;
+    entry.future = promise.get_future().share();
+    entry.last_used = ++shard.tick;
+    shard.map.emplace(key, std::move(entry));
+  }
+
+  SubSchedule result;
+  try {
+    result = solve_sub_demand(demand, options, stats);
+  } catch (...) {
+    // Drop the placeholder so later calls retry, then fail every waiter.
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.map.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  promise.set_value(result);
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {  // absent if clear() raced the solve
+      it->second.ready = true;
+      it->second.bytes = key.size() + sizeof(Entry) + sizeof(SubSchedule) +
+                         result.ops.size() * sizeof(SubOp) + 64;
+      shard.bytes += it->second.bytes;
+      evict_locked(shard);
+    }
+  }
+  return result;
+}
+
+void SubScheduleCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Keep in-flight entries: their solving threads still expect to find and
+    // finalise them; dropping ready ones is enough to release the bytes.
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      it = it->second.ready ? shard.map.erase(it) : std::next(it);
+    }
+    shard.bytes = 0;
+    shard.hits = shard.misses = shard.evictions = 0;
+    shard.tick = 0;
+  }
+}
+
+SubScheduleCache::Stats SubScheduleCache::stats() const {
+  Stats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.entries += shard.map.size();
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+}  // namespace syccl::solver

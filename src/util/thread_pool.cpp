@@ -47,57 +47,62 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
     return;
   }
 
+  // Chunked dispatch: instead of one queued std::function per index, enqueue
+  // at most one helper task per worker; helpers (and the caller) claim
+  // indices from a shared atomic counter. This kills the per-item allocation
+  // and wake-up cost and load-balances automatically. The batch state is
+  // heap-shared because a helper stub may be popped after the batch already
+  // completed (it then sees next ≥ count and exits immediately).
   struct Batch {
-    std::atomic<std::size_t> remaining;
+    std::function<void(std::size_t)> fn;  ///< one copy per batch
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
     std::mutex done_mutex;
     std::condition_variable done_cv;
     std::exception_ptr first_error;
     std::mutex error_mutex;
-  };
-  Batch batch;
-  batch.remaining.store(count);
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < count; ++i) {
-      queue_.push([&batch, &fn, i] {
+    void run() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> elock(batch.error_mutex);
-          if (!batch.first_error) batch.first_error = std::current_exception();
+          std::lock_guard<std::mutex> elock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
         }
-        if (batch.remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> dlock(batch.done_mutex);
-          batch.done_cv.notify_all();
+        if (done.fetch_add(1) + 1 == count) {
+          std::lock_guard<std::mutex> dlock(done_mutex);
+          done_cv.notify_all();
         }
-      });
+      }
+    }
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->fn = fn;
+  batch->count = count;
+
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t w = 0; w < helpers; ++w) {
+      queue_.push([batch] { batch->run(); });
     }
   }
   cv_.notify_all();
 
-  // The caller participates in draining the queue instead of sleeping: this
-  // makes nested parallel_for calls deadlock-free.
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (batch.remaining.load() == 0) break;
-      if (!queue_.empty()) {
-        task = std::move(queue_.front());
-        queue_.pop();
-      }
-    }
-    if (task) {
-      task();
-    } else {
-      std::unique_lock<std::mutex> lock(batch.done_mutex);
-      batch.done_cv.wait_for(lock, std::chrono::milliseconds(1),
-                             [&batch] { return batch.remaining.load() == 0; });
-    }
-  }
+  // The caller claims indices too, so every batch can complete on its
+  // caller alone — this keeps nested parallel_for calls deadlock-free even
+  // when all workers are busy inside outer batches.
+  batch->run();
 
-  if (batch.first_error) std::rethrow_exception(batch.first_error);
+  std::unique_lock<std::mutex> lock(batch->done_mutex);
+  batch->done_cv.wait(lock, [&batch] { return batch->done.load() == batch->count; });
+  lock.unlock();
+
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
 }
 
 }  // namespace syccl::util

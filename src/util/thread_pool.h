@@ -1,10 +1,15 @@
-// Fixed-size worker pool used to solve independent sub-demands in parallel
-// (§5.3 "Utilizing isomorphism and parallelism to accelerate synthesis").
+// Fixed-size worker pool used to solve independent sub-demands and evaluate
+// candidate schedules in parallel (§5.3 "Utilizing isomorphism and
+// parallelism to accelerate synthesis").
 //
-// The pool is a plain FIFO work queue: sub-demand solves are coarse-grained
-// (milliseconds to seconds), so work stealing would buy nothing. parallel_for
-// blocks the caller until every task finished and rethrows the first captured
-// exception, so callers never observe partially-completed batches.
+// The pool is a plain FIFO work queue: tasks are coarse-grained
+// (milliseconds to seconds), so work stealing would buy nothing.
+// parallel_for uses chunked dispatch — one helper task per worker, indices
+// claimed from a shared atomic counter — so per-item allocation and wake-up
+// costs are amortised over the batch. It blocks the caller until every index
+// finished and rethrows the first captured exception, so callers never
+// observe partially-completed batches. The caller itself claims indices,
+// which makes nested parallel_for calls deadlock-free.
 #pragma once
 
 #include <condition_variable>

@@ -1,0 +1,205 @@
+// Tests for the process-wide sub-demand solve cache and the parallel
+// candidate-evaluation path: cached synthesis must be byte-identical to
+// uncached synthesis, repeated synthesis must hit the cache, the LRU byte
+// bound must hold, and parallel evaluation must pick the same candidate as a
+// single-threaded run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/synthesizer.h"
+#include "runtime/xml.h"
+#include "solver/solve_cache.h"
+#include "topo/builders.h"
+
+namespace syccl {
+namespace {
+
+core::SynthesisConfig test_config(bool use_cache, int num_threads = 0) {
+  core::SynthesisConfig cfg;
+  cfg.sketch.search.max_sketches = 32;
+  cfg.sketch.max_prototypes = 4;
+  cfg.sketch.combine.max_outputs = 10;
+  // Generous wall-clock limits keep the (deterministic) node limit binding,
+  // so repeated solves of the same class yield identical schedules.
+  cfg.coarse_solver.time_limit_s = 5.0;
+  cfg.fine_solver.time_limit_s = 5.0;
+  cfg.use_solve_cache = use_cache;
+  cfg.num_threads = num_threads;
+  return cfg;
+}
+
+std::string xml_of(const core::SynthesisResult& r, int num_ranks) {
+  return runtime::to_xml(r.schedule, num_ranks);
+}
+
+solver::SubDemand make_broadcast_demand(const topo::GroupTopology& gt, double piece_bytes) {
+  solver::SubDemand demand;
+  demand.group = &gt;
+  demand.piece_bytes = piece_bytes;
+  solver::DemandPiece p;
+  p.id = 0;
+  p.srcs = {0};
+  for (int d = 1; d < gt.size(); ++d) p.dsts.push_back(d);
+  demand.pieces.push_back(std::move(p));
+  return demand;
+}
+
+TEST(SolveCache, OptionsFingerprintSeparatesKnobs) {
+  solver::MilpSchedulerOptions a;
+  solver::MilpSchedulerOptions b = a;
+  EXPECT_EQ(solver::SubScheduleCache::options_fingerprint(a),
+            solver::SubScheduleCache::options_fingerprint(b));
+  b.E = a.E * 2;
+  EXPECT_NE(solver::SubScheduleCache::options_fingerprint(a),
+            solver::SubScheduleCache::options_fingerprint(b));
+  b = a;
+  b.greedy_only = !a.greedy_only;
+  EXPECT_NE(solver::SubScheduleCache::options_fingerprint(a),
+            solver::SubScheduleCache::options_fingerprint(b));
+}
+
+TEST(SolveCache, HitReturnsIdenticalScheduleWithoutSolving) {
+  const auto topo = topo::build_single_server(8);
+  const auto groups = topo::extract_groups(topo);
+  solver::SubScheduleCache cache;
+  const auto demand = make_broadcast_demand(groups.dims[0].groups[0], 1 << 20);
+  solver::MilpSchedulerOptions opts;
+
+  solver::SolveStats s1, s2;
+  const auto first = cache.get_or_solve(demand, opts, &s1);
+  const auto second = cache.get_or_solve(demand, opts, &s2);
+  EXPECT_FALSE(s1.cache_hit);
+  EXPECT_TRUE(s2.cache_hit);
+  EXPECT_EQ(first.num_epochs, second.num_epochs);
+  ASSERT_EQ(first.ops.size(), second.ops.size());
+  for (std::size_t i = 0; i < first.ops.size(); ++i) {
+    EXPECT_EQ(first.ops[i].piece, second.ops[i].piece);
+    EXPECT_EQ(first.ops[i].src, second.ops[i].src);
+    EXPECT_EQ(first.ops[i].dst, second.ops[i].dst);
+    EXPECT_EQ(first.ops[i].start_epoch, second.ops[i].start_epoch);
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_GT(st.bytes, 0u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(SolveCache, LruBoundEvicts) {
+  const auto topo = topo::build_single_server(8);
+  const auto groups = topo::extract_groups(topo);
+  // A budget far below what ~200 distinct entries need forces eviction.
+  solver::SubScheduleCache cache(4096);
+  solver::MilpSchedulerOptions opts;
+  opts.greedy_only = true;
+  for (int k = 0; k < 200; ++k) {
+    const auto demand =
+        make_broadcast_demand(groups.dims[0].groups[0], (1 << 16) + k * 997.0);
+    cache.get_or_solve(demand, opts);
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.misses, 200u);
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_LE(st.bytes, cache.max_bytes());
+}
+
+TEST(SolveCache, ConcurrentMissesSolveOnce) {
+  const auto topo = topo::build_single_server(8);
+  const auto groups = topo::extract_groups(topo);
+  solver::SubScheduleCache cache;
+  const auto demand = make_broadcast_demand(groups.dims[0].groups[0], 1 << 20);
+  solver::MilpSchedulerOptions opts;
+
+  std::atomic<int> solved{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      solver::SolveStats stats;
+      cache.get_or_solve(demand, opts, &stats);
+      if (!stats.cache_hit) solved.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // In-flight dedup: exactly one thread solves, everyone else hits (possibly
+  // blocking on the in-flight future).
+  EXPECT_EQ(solved.load(), 1);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 7u);
+}
+
+TEST(SolveCache, SweepByteIdenticalWithAndWithoutCache) {
+  const auto topo = topo::build_h800_cluster(2);
+  solver::SubScheduleCache::instance().clear();
+  core::Synthesizer cached(topo, test_config(true));
+  core::Synthesizer uncached(topo, test_config(false));
+  for (const std::uint64_t bytes : {1ull << 20, 4ull << 20, 16ull << 20}) {
+    const auto coll = coll::make_allgather(16, bytes);
+    const auto rc = cached.synthesize(coll);
+    const auto ru = uncached.synthesize(coll);
+    EXPECT_EQ(rc.chosen, ru.chosen) << "bytes=" << bytes;
+    EXPECT_EQ(rc.predicted_time, ru.predicted_time) << "bytes=" << bytes;
+    EXPECT_EQ(xml_of(rc, 16), xml_of(ru, 16)) << "bytes=" << bytes;
+    EXPECT_EQ(ru.breakdown.cache_hits + ru.breakdown.cache_misses, 0);
+  }
+}
+
+TEST(SolveCache, SecondIdenticalSynthesisHitsCache) {
+  const auto topo = topo::build_h800_cluster(2);
+  solver::SubScheduleCache::instance().clear();
+  core::Synthesizer synth(topo, test_config(true));
+  const auto coll = coll::make_allgather(16, 4 << 20);
+
+  const auto first = synth.synthesize(coll);
+  const auto second = synth.synthesize(coll);
+  EXPECT_GE(second.breakdown.cache_hits, 1);
+  // Every class the second run needed was already solved by the first.
+  EXPECT_LT(second.breakdown.num_solver_calls, first.breakdown.num_solver_calls);
+  EXPECT_EQ(second.breakdown.num_solver_calls, 0);
+  EXPECT_GT(second.breakdown.cache_bytes, 0u);
+  // And the reused solves produce the exact same schedule.
+  EXPECT_EQ(first.chosen, second.chosen);
+  EXPECT_EQ(first.predicted_time, second.predicted_time);
+  EXPECT_EQ(xml_of(first, 16), xml_of(second, 16));
+}
+
+TEST(SolveCache, AllReducePhasesShareSolves) {
+  // RS is synthesized through the reversed AG twin, so the two concurrent
+  // phases request identical classes — the second requester must reuse the
+  // first's solves (ready or in-flight) rather than duplicate them.
+  const auto topo = topo::build_h800_cluster(2);
+  solver::SubScheduleCache::instance().clear();
+  core::Synthesizer synth(topo, test_config(true));
+  const auto r = synth.synthesize(coll::make_allreduce(16, 4 << 20));
+  EXPECT_GE(r.breakdown.cache_hits, 1);
+  EXPECT_GT(r.predicted_time, 0.0);
+}
+
+TEST(SolveCache, ParallelEvaluationMatchesSingleThread) {
+  // The chosen candidate and its predicted time must not depend on the
+  // number of worker threads (deterministic selection).
+  const auto topo = topo::build_h800_cluster(2);
+  const auto coll = coll::make_allreduce(16, 4 << 20);
+
+  solver::SubScheduleCache::instance().clear();
+  core::Synthesizer serial(topo, test_config(true, 1));
+  const auto rs = serial.synthesize(coll);
+
+  solver::SubScheduleCache::instance().clear();
+  core::Synthesizer parallel(topo, test_config(true, 4));
+  const auto rp = parallel.synthesize(coll);
+
+  EXPECT_EQ(rs.chosen, rp.chosen);
+  EXPECT_EQ(rs.predicted_time, rp.predicted_time);
+  EXPECT_EQ(xml_of(rs, 16), xml_of(rp, 16));
+}
+
+}  // namespace
+}  // namespace syccl

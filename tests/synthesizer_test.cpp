@@ -38,9 +38,12 @@ TEST(Synthesizer, AllGatherTwoServers) {
   const auto r = synth.synthesize(coll);
   EXPECT_GT(coll::busbw_GBps(coll, r.predicted_time), 20.0);
   EXPECT_GT(r.breakdown.num_combinations, 1);
-  EXPECT_GT(r.breakdown.num_solver_calls, 0);
+  // Classes needed = actual solves + process-wide cache hits (the cache may
+  // be warm when the whole binary runs in one process).
+  const int classes = r.breakdown.num_solver_calls + r.breakdown.cache_hits;
+  EXPECT_GT(classes, 0);
   // Isomorphism dedup must kick in: fewer solver calls than sub-demands.
-  EXPECT_LT(r.breakdown.num_solver_calls, r.breakdown.num_subdemands);
+  EXPECT_LT(classes, r.breakdown.num_subdemands);
 }
 
 TEST(Synthesizer, ReduceScatterMatchesAllGatherShape) {

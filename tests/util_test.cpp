@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/log.h"
@@ -75,6 +76,31 @@ TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
 TEST(ThreadPool, ZeroCountIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ChunkedDispatchCoversEveryIndexExactlyOnce) {
+  // Chunked dispatch claims indices from a shared counter; repeated rounds
+  // shake out lost or doubly-claimed indices.
+  ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    std::vector<std::atomic<int>> hits(517);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ConcurrentCallersShareWorkers) {
+  // Several external threads issue batches against the same pool; each batch
+  // must complete exactly (the caller can always finish its batch alone).
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back(
+        [&] { pool.parallel_for(100, [&](std::size_t) { total.fetch_add(1); }); });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 400);
 }
 
 TEST(Stopwatch, MeasuresElapsed) {
