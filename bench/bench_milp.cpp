@@ -1,0 +1,274 @@
+// Perf-trajectory bench for warm-started node LP re-solves in the MILP
+// branch and bound.
+//
+// Representative sub-demand encodings (allgather/broadcast on single-server
+// groups, the workloads solve_sub_demand actually sees) are built through
+// solver::encode_sub_demand_milp. For each, a branching-like sequence of
+// bound perturbations (dive: fix random binaries, backtrack periodically) is
+// re-solved two ways over the identical sequence:
+//
+//   cold — lp::solve() from scratch per node (the pre-warm-start behaviour),
+//   warm — one lp::SimplexSolver re-entered via dual simplex per node.
+//
+// The node re-solve throughput ratio cold_s/warm_s is the tentpole metric;
+// a full branch-and-bound run with use_warm_start on/off is also reported.
+// Output: one JSON line on stdout and in BENCH_milp.json. Registered under
+// the ctest configuration/label `perf`; the gate fails unless the median
+// warm throughput is ≥3× cold.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "lp/simplex.h"
+#include "lp/simplex_solver.h"
+#include "milp/branch_and_bound.h"
+#include "solver/epoch_model.h"
+#include "solver/milp_scheduler.h"
+#include "topo/builders.h"
+#include "topo/groups.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace syccl;
+
+namespace {
+
+solver::SubDemand broadcast_demand(const topo::GroupTopology& g, double bytes) {
+  solver::SubDemand d;
+  d.group = &g;
+  d.piece_bytes = bytes;
+  solver::DemandPiece p;
+  p.id = 0;
+  p.srcs = {0};
+  for (int i = 1; i < g.size(); ++i) p.dsts.push_back(i);
+  d.pieces.push_back(std::move(p));
+  return d;
+}
+
+solver::SubDemand allgather_demand(const topo::GroupTopology& g, double bytes) {
+  solver::SubDemand d;
+  d.group = &g;
+  d.piece_bytes = bytes;
+  for (int r = 0; r < g.size(); ++r) {
+    solver::DemandPiece p;
+    p.id = r;
+    p.srcs = {r};
+    for (int i = 0; i < g.size(); ++i) {
+      if (i != r) p.dsts.push_back(i);
+    }
+    d.pieces.push_back(std::move(p));
+  }
+  return d;
+}
+
+/// A branching-like sequence of bound boxes over the encoding's binaries:
+/// each step fixes one more random binary (diving); every eighth step
+/// backtracks to the root box. Deterministic from the seed.
+std::vector<std::pair<std::vector<double>, std::vector<double>>> node_sequence(
+    const lp::Problem& p, const std::vector<bool>& is_integer, int count, std::uint64_t seed) {
+  std::vector<int> binaries;
+  for (int v = 0; v < p.num_vars; ++v) {
+    if (is_integer[static_cast<std::size_t>(v)]) binaries.push_back(v);
+  }
+  util::Rng rng(seed);
+  std::vector<std::pair<std::vector<double>, std::vector<double>>> seq;
+  std::vector<double> lo = p.lower, hi = p.upper;
+  for (int i = 0; i < count; ++i) {
+    if (i % 8 == 0) {
+      lo = p.lower;
+      hi = p.upper;
+    }
+    const std::size_t v = static_cast<std::size_t>(
+        binaries[static_cast<std::size_t>(rng.next_below(binaries.size()))]);
+    if (rng.next_below(2) == 0) {
+      hi[v] = lo[v];  // fix down
+    } else {
+      lo[v] = hi[v];  // fix up
+    }
+    seq.push_back({lo, hi});
+  }
+  return seq;
+}
+
+struct CaseResult {
+  std::string name;
+  int vars = 0;
+  int rows = 0;
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  double ratio = 0.0;
+  long warm_fallbacks = 0;
+  int mismatches = 0;      ///< status disagreements (must be 0)
+  long bb_nodes_cold = 0;  ///< full B&B, use_warm_start = false
+  long bb_nodes_warm = 0;
+  double bb_cold_s = 0.0;
+  double bb_warm_s = 0.0;
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+CaseResult run_case(const std::string& name, const solver::SubDemandEncoding& enc,
+                    int num_nodes) {
+  CaseResult res;
+  res.name = name;
+  const lp::Problem& p = enc.problem.lp;
+  res.vars = p.num_vars;
+  res.rows = static_cast<int>(p.constraints.size());
+
+  const auto seq = node_sequence(p, enc.problem.is_integer, num_nodes, 42);
+  // Same per-node pivot budget the branch and bound uses (MilpOptions
+  // default), so cold pathological nodes cost what they cost in-tree.
+  constexpr long kNodeIters = 20000;
+
+  // Statuses must agree node-for-node; collect once outside the timed loops.
+  {
+    lp::SimplexSolver solver(p);
+    for (const auto& [lo, hi] : seq) {
+      const lp::Solution warm = solver.resolve(lo, hi, kNodeIters);
+      lp::Problem q = p;
+      q.lower = lo;
+      q.upper = hi;
+      const lp::Solution cold = lp::solve(q, kNodeIters);
+      // A cold IterationLimit is the reference giving up, not a verdict to
+      // compare against (the warm path can legitimately out-prove it).
+      if (cold.status == lp::Status::IterationLimit ||
+          warm.status == lp::Status::IterationLimit) {
+        continue;
+      }
+      if (warm.status != cold.status) {
+        ++res.mismatches;
+        if (std::getenv("SYCCL_BENCH_DEBUG") && res.mismatches <= 5) {
+          std::fprintf(stderr, "mismatch: warm=%d obj=%.9g cold=%d obj=%.9g\n",
+                       static_cast<int>(warm.status), warm.objective,
+                       static_cast<int>(cold.status), cold.objective);
+        }
+      } else if (warm.status == lp::Status::Optimal &&
+                 std::fabs(warm.objective - cold.objective) >
+                     1e-6 * (1.0 + std::fabs(cold.objective))) {
+        ++res.mismatches;
+        if (std::getenv("SYCCL_BENCH_DEBUG") && res.mismatches <= 5) {
+          std::fprintf(stderr, "obj mismatch: warm=%.9g cold=%.9g\n", warm.objective,
+                       cold.objective);
+        }
+      }
+    }
+    res.warm_fallbacks = solver.stats().warm_fallbacks;
+  }
+
+  std::vector<double> cold_runs, warm_runs;
+  for (int rep = 0; rep < 3; ++rep) {
+    util::Stopwatch clock;
+    for (const auto& [lo, hi] : seq) {
+      lp::Problem q = p;
+      q.lower = lo;
+      q.upper = hi;
+      (void)lp::solve(q, kNodeIters);
+    }
+    cold_runs.push_back(clock.elapsed_seconds());
+
+    lp::SimplexSolver solver(p);
+    clock.reset();
+    for (const auto& [lo, hi] : seq) (void)solver.resolve(lo, hi, kNodeIters);
+    warm_runs.push_back(clock.elapsed_seconds());
+  }
+  res.cold_s = median(cold_runs);
+  res.warm_s = median(warm_runs);
+  res.ratio = res.warm_s > 0 ? res.cold_s / res.warm_s : 0.0;
+
+  // Full branch and bound, warm vs cold node LPs, same incumbent seed.
+  milp::MilpOptions opts;
+  opts.time_limit_s = 10.0;
+  std::optional<std::vector<double>> inc;
+  if (!enc.incumbent.empty()) inc = enc.incumbent;
+  opts.use_warm_start = false;
+  util::Stopwatch clock;
+  const milp::MilpSolution cold_bb = milp::solve(enc.problem, opts, inc);
+  res.bb_cold_s = clock.elapsed_seconds();
+  res.bb_nodes_cold = cold_bb.nodes_explored;
+  opts.use_warm_start = true;
+  clock.reset();
+  const milp::MilpSolution warm_bb = milp::solve(enc.problem, opts, inc);
+  res.bb_warm_s = clock.elapsed_seconds();
+  res.bb_nodes_warm = warm_bb.nodes_explored;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  // Group sizes stay inside the production MILP gate (solve_sub_demand skips
+  // encodings past max_binaries = 500), so these are the encodings the tree
+  // search actually re-solves.
+  topo::Topology t4 = topo::build_single_server(4, {1e-6, 1e9});
+  topo::Topology t5 = topo::build_single_server(5, {1e-6, 1e9});
+  topo::Topology t8 = topo::build_single_server(8, {1e-6, 1e9});
+  const topo::TopologyGroups g4 = topo::extract_groups(t4);
+  const topo::TopologyGroups g5 = topo::extract_groups(t5);
+  const topo::TopologyGroups g8 = topo::extract_groups(t8);
+  const double bytes = 1 << 20;  // βs ≫ α: bandwidth-dominated epochs
+
+  struct Case {
+    std::string name;
+    solver::SubDemandEncoding enc;
+    int num_nodes = 400;  // fewer for encodings with expensive cold solves
+  };
+  std::vector<Case> cases;
+  cases.push_back({"allgather_4", solver::encode_sub_demand_milp(
+                                      allgather_demand(g4.dims[0].groups[0], bytes), 1.0)});
+  cases.push_back({"allgather_5", solver::encode_sub_demand_milp(
+                                      allgather_demand(g5.dims[0].groups[0], bytes), 1.0),
+                   150});
+  cases.push_back({"broadcast_8", solver::encode_sub_demand_milp(
+                                      broadcast_demand(g8.dims[0].groups[0], bytes), 1.0)});
+
+  std::string json = "{\"bench\":\"milp_warm_resolve\",\"cases\":[";
+  std::vector<double> ratios;
+  int mismatches = 0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult r = run_case(cases[i].name, cases[i].enc, cases[i].num_nodes);
+    ratios.push_back(r.ratio);
+    mismatches += r.mismatches;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"vars\":%d,\"rows\":%d,\"cold_s\":%.6f,"
+                  "\"warm_s\":%.6f,\"ratio\":%.2f,\"warm_fallbacks\":%ld,"
+                  "\"mismatches\":%d,\"bb_nodes_cold\":%ld,\"bb_nodes_warm\":%ld,"
+                  "\"bb_cold_s\":%.6f,\"bb_warm_s\":%.6f}",
+                  i ? "," : "", r.name.c_str(), r.vars, r.rows, r.cold_s, r.warm_s, r.ratio,
+                  r.warm_fallbacks, r.mismatches, r.bb_nodes_cold, r.bb_nodes_warm, r.bb_cold_s,
+                  r.bb_warm_s);
+    json += buf;
+    std::printf("%s: %d vars, %d rows — cold %.4fs, warm %.4fs, ratio %.2fx "
+                "(fallbacks %ld, mismatches %d); B&B %ld nodes %.3fs cold / %ld nodes %.3fs warm\n",
+                r.name.c_str(), r.vars, r.rows, r.cold_s, r.warm_s, r.ratio, r.warm_fallbacks,
+                r.mismatches, r.bb_nodes_cold, r.bb_cold_s, r.bb_nodes_warm, r.bb_warm_s);
+  }
+  const double med = median(ratios);
+  char tail[128];
+  std::snprintf(tail, sizeof(tail), "],\"median_ratio\":%.2f}", med);
+  json += tail;
+  std::printf("%s\n", json.c_str());
+
+  if (std::FILE* f = std::fopen("BENCH_milp.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FAIL: %d warm/cold status mismatches\n", mismatches);
+    return 1;
+  }
+  // Acceptance gate: warm node re-solve throughput ≥3× cold (median case).
+  if (med < 3.0) {
+    std::fprintf(stderr, "FAIL: median warm/cold re-solve ratio %.2fx < 3x\n", med);
+    return 1;
+  }
+  return 0;
+}

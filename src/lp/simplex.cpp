@@ -134,6 +134,7 @@ int Problem::add_var(double lo, double hi, double cost) {
 
 Solution solve(const Problem& problem, long max_iters, double deadline_s) {
   util::Stopwatch clock;
+  const long initial_iters = max_iters;
   const int n = problem.num_vars;
   std::vector<double> lower = problem.lower;
   std::vector<double> upper = problem.upper;
@@ -245,8 +246,10 @@ Solution solve(const Problem& problem, long max_iters, double deadline_s) {
       }
     }
     const Status s1 = run_simplex(t, z, zval, allowed, iters_left, clock, deadline_s);
-    if (s1 == Status::IterationLimit) return Solution{Status::IterationLimit, 0.0, {}};
-    if (-zval > 1e-6) return Solution{Status::Infeasible, 0.0, {}};
+    if (s1 == Status::IterationLimit) {
+      return Solution{Status::IterationLimit, 0.0, {}, initial_iters - iters_left};
+    }
+    if (-zval > 1e-6) return Solution{Status::Infeasible, 0.0, {}, initial_iters - iters_left};
     // Drive remaining artificials out of the basis where possible; then ban
     // artificial columns from re-entering.
     for (int r = 0; r < m; ++r) {
@@ -276,11 +279,14 @@ Solution solve(const Problem& problem, long max_iters, double deadline_s) {
     }
   }
   const Status s2 = run_simplex(t, z, zval, allowed, iters_left, clock, deadline_s);
-  if (s2 == Status::Unbounded) return Solution{Status::Unbounded, 0.0, {}};
-  if (s2 == Status::IterationLimit) return Solution{Status::IterationLimit, 0.0, {}};
+  if (s2 == Status::Unbounded) return Solution{Status::Unbounded, 0.0, {}, initial_iters - iters_left};
+  if (s2 == Status::IterationLimit) {
+    return Solution{Status::IterationLimit, 0.0, {}, initial_iters - iters_left};
+  }
 
   Solution sol;
   sol.status = Status::Optimal;
+  sol.iterations = initial_iters - iters_left;
   sol.x.assign(static_cast<std::size_t>(n), 0.0);
   for (int r = 0; r < m; ++r) {
     const int b = t.basis(r);

@@ -44,11 +44,18 @@ struct Solution {
   Status status = Status::Infeasible;
   double objective = 0.0;
   std::vector<double> x;
+  /// Simplex pivots spent producing this solution (all phases).
+  long iterations = 0;
 };
 
 /// Solves the LP. `max_iters` bounds total pivot count across both phases;
 /// `deadline_s` (if positive) bounds wall-clock time — exceeding either
 /// returns Status::IterationLimit.
+///
+/// This is the cold two-phase primal path. Repeated solves of the same
+/// constraint matrix under changing bounds (branch and bound) should go
+/// through lp::SimplexSolver (lp/simplex_solver.h), which re-enters from the
+/// previous basis via dual simplex and falls back to this routine.
 Solution solve(const Problem& problem, long max_iters = 200000, double deadline_s = 0.0);
 
 }  // namespace syccl::lp

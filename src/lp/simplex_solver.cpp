@@ -1,0 +1,434 @@
+#include "lp/simplex_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stopwatch.h"
+
+namespace syccl::lp {
+
+namespace {
+
+constexpr double kPivEps = 1e-9;   ///< pivot magnitude floor
+constexpr double kFeasTol = 1e-7;  ///< primal bound-violation tolerance
+constexpr double kDualTol = 1e-7;  ///< reduced-cost sign tolerance
+constexpr double kFixedTol = 1e-12;
+/// Pivots between clean refactorizations. Gauss-Jordan updates accumulate
+/// error; a long warm streak (thousands of pivots on one tableau) otherwise
+/// degrades it enough to produce spurious infeasibility verdicts.
+constexpr long kRefactorEvery = 256;
+
+}  // namespace
+
+SimplexSolver::SimplexSolver(const Problem& base, long stall_limit)
+    : base_(base),
+      n_(base.num_vars),
+      m_(static_cast<int>(base.constraints.size())),
+      total_(n_ + m_),
+      stall_limit_(stall_limit) {
+  for (const Constraint& c : base_.constraints) {
+    for (const auto& [v, coef] : c.terms) {
+      (void)coef;
+      if (v < 0 || v >= n_) throw std::invalid_argument("constraint references unknown variable");
+    }
+  }
+  base_.objective.resize(static_cast<std::size_t>(n_), 0.0);
+  tab_.assign(static_cast<std::size_t>(m_) * total_, 0.0);
+  rhs0_.assign(static_cast<std::size_t>(m_), 0.0);
+  d_.assign(static_cast<std::size_t>(total_), 0.0);
+  basic_.assign(static_cast<std::size_t>(m_), -1);
+  stat_.assign(static_cast<std::size_t>(total_), kAtLower);
+  beta_.assign(static_cast<std::size_t>(m_), 0.0);
+  lo_.assign(static_cast<std::size_t>(total_), 0.0);
+  hi_.assign(static_cast<std::size_t>(total_), kInf);
+  // Slack bounds are fixed by the row relation: ≤ rows get s ∈ [0,∞),
+  // ≥ rows s ∈ (−∞,0], = rows the fixed s ∈ [0,0].
+  for (int r = 0; r < m_; ++r) {
+    const std::size_t s = static_cast<std::size_t>(n_ + r);
+    switch (base_.constraints[static_cast<std::size_t>(r)].rel) {
+      case Relation::LessEq:
+        lo_[s] = 0.0;
+        hi_[s] = kInf;
+        break;
+      case Relation::GreaterEq:
+        lo_[s] = -kInf;
+        hi_[s] = 0.0;
+        break;
+      case Relation::Eq:
+        lo_[s] = 0.0;
+        hi_[s] = 0.0;
+        break;
+    }
+  }
+}
+
+double SimplexSolver::col_lo(int c) const { return lo_[static_cast<std::size_t>(c)]; }
+double SimplexSolver::col_hi(int c) const { return hi_[static_cast<std::size_t>(c)]; }
+
+double SimplexSolver::nonbasic_value(int c) const {
+  return stat_[static_cast<std::size_t>(c)] == kAtUpper ? col_hi(c) : col_lo(c);
+}
+
+bool SimplexSolver::crash() {
+  std::fill(tab_.begin(), tab_.end(), 0.0);
+  for (int r = 0; r < m_; ++r) {
+    const Constraint& row = base_.constraints[static_cast<std::size_t>(r)];
+    for (const auto& [v, coef] : row.terms) tab(r, v) += coef;
+    tab(r, n_ + r) = 1.0;
+    rhs0_[static_cast<std::size_t>(r)] = row.rhs;
+    basic_[static_cast<std::size_t>(r)] = n_ + r;
+    stat_[static_cast<std::size_t>(n_ + r)] = kBasic;
+  }
+  for (int j = 0; j < total_; ++j) {
+    d_[static_cast<std::size_t>(j)] = j < n_ ? base_.objective[static_cast<std::size_t>(j)] : 0.0;
+  }
+  // Each structural column goes to the bound its cost sign prefers; if that
+  // bound is infinite no dual-feasible crash basis exists.
+  for (int j = 0; j < n_; ++j) {
+    const double c = d_[static_cast<std::size_t>(j)];
+    const bool lo_finite = col_lo(j) > -kInf;
+    const bool hi_finite = col_hi(j) < kInf;
+    if (c > kDualTol) {
+      if (!lo_finite) return false;
+      stat_[static_cast<std::size_t>(j)] = kAtLower;
+    } else if (c < -kDualTol) {
+      if (!hi_finite) return false;
+      stat_[static_cast<std::size_t>(j)] = kAtUpper;
+    } else if (lo_finite) {
+      stat_[static_cast<std::size_t>(j)] = kAtLower;
+    } else if (hi_finite) {
+      stat_[static_cast<std::size_t>(j)] = kAtUpper;
+    } else {
+      return false;  // free column — leave to the two-phase path
+    }
+  }
+  ++stats_.crashes;
+  pivots_since_factor_ = 0;
+  valid_ = true;
+  return true;
+}
+
+bool SimplexSolver::refactor() {
+  std::fill(tab_.begin(), tab_.end(), 0.0);
+  for (int r = 0; r < m_; ++r) {
+    const Constraint& row = base_.constraints[static_cast<std::size_t>(r)];
+    for (const auto& [v, coef] : row.terms) tab(r, v) += coef;
+    tab(r, n_ + r) = 1.0;
+    rhs0_[static_cast<std::size_t>(r)] = row.rhs;
+  }
+  // Gauss-Jordan: give basic_[i]'s column an identity pivot in row i. Row
+  // swaps re-associate rows with basic variables, which is just a relabeling
+  // of B⁻¹'s row order. A numerically singular basis reports failure.
+  for (int i = 0; i < m_; ++i) {
+    const int c = basic_[static_cast<std::size_t>(i)];
+    int p = -1;
+    double best = kPivEps;
+    for (int r = i; r < m_; ++r) {
+      const double mag = std::fabs(tab(r, c));
+      if (mag > best) {
+        best = mag;
+        p = r;
+      }
+    }
+    if (p < 0) return false;
+    if (p != i) {
+      for (int col = 0; col < total_; ++col) std::swap(tab(p, col), tab(i, col));
+      std::swap(rhs0_[static_cast<std::size_t>(p)], rhs0_[static_cast<std::size_t>(i)]);
+    }
+    double* prow = &tab_[static_cast<std::size_t>(i) * total_];
+    const double pv = prow[c];
+    for (int col = 0; col < total_; ++col) prow[col] /= pv;
+    rhs0_[static_cast<std::size_t>(i)] /= pv;
+    prow[c] = 1.0;
+    for (int r = 0; r < m_; ++r) {
+      if (r == i) continue;
+      double* row = &tab_[static_cast<std::size_t>(r) * total_];
+      const double f = row[c];
+      if (std::fabs(f) < kPivEps) continue;
+      for (int col = 0; col < total_; ++col) row[col] -= f * prow[col];
+      rhs0_[static_cast<std::size_t>(r)] -= f * rhs0_[static_cast<std::size_t>(i)];
+      row[c] = 0.0;
+    }
+  }
+  // Reduced costs from scratch: d = c − c_Bᵀ (B⁻¹[A|I]).
+  for (int j = 0; j < total_; ++j) {
+    d_[static_cast<std::size_t>(j)] = j < n_ ? base_.objective[static_cast<std::size_t>(j)] : 0.0;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const int b = basic_[static_cast<std::size_t>(i)];
+    const double cb = b < n_ ? base_.objective[static_cast<std::size_t>(b)] : 0.0;
+    if (cb == 0.0) continue;
+    const double* row = &tab_[static_cast<std::size_t>(i) * total_];
+    for (int j = 0; j < total_; ++j) d_[static_cast<std::size_t>(j)] -= cb * row[j];
+  }
+  for (int i = 0; i < m_; ++i) d_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] = 0.0;
+  ++stats_.refactors;
+  pivots_since_factor_ = 0;
+  return true;
+}
+
+void SimplexSolver::recompute_beta() {
+  beta_ = rhs0_;
+  for (int j = 0; j < total_; ++j) {
+    if (stat_[static_cast<std::size_t>(j)] == kBasic) continue;
+    const double val = nonbasic_value(j);
+    if (val == 0.0) continue;
+    for (int r = 0; r < m_; ++r) beta_[static_cast<std::size_t>(r)] -= tab(r, j) * val;
+  }
+}
+
+void SimplexSolver::pivot(int pr, int pc) {
+  double* prow = &tab_[static_cast<std::size_t>(pr) * total_];
+  const double pv = prow[pc];
+  for (int c = 0; c < total_; ++c) prow[c] /= pv;
+  rhs0_[static_cast<std::size_t>(pr)] /= pv;
+  prow[pc] = 1.0;
+  for (int r = 0; r < m_; ++r) {
+    if (r == pr) continue;
+    double* row = &tab_[static_cast<std::size_t>(r) * total_];
+    const double f = row[pc];
+    if (std::fabs(f) < kPivEps) continue;
+    for (int c = 0; c < total_; ++c) row[c] -= f * prow[c];
+    rhs0_[static_cast<std::size_t>(r)] -= f * rhs0_[static_cast<std::size_t>(pr)];
+    row[pc] = 0.0;
+  }
+}
+
+Basis SimplexSolver::basis() const {
+  Basis b;
+  if (!valid_) return b;
+  b.basic = basic_;
+  b.status = stat_;
+  return b;
+}
+
+Solution SimplexSolver::fallback(const std::vector<double>& lower,
+                                 const std::vector<double>& upper, long max_iters,
+                                 double deadline_s) {
+  ++stats_.warm_fallbacks;
+  valid_ = false;  // state may be stale/drifted; rebuild on the next resolve
+  Problem p = base_;
+  p.lower = lower;
+  p.upper = upper;
+  Solution s = lp::solve(p, max_iters, deadline_s);
+  stats_.lp_iterations += s.iterations;
+  return s;
+}
+
+bool SimplexSolver::verify(const Solution& sol) const {
+  for (int j = 0; j < n_; ++j) {
+    const double x = sol.x[static_cast<std::size_t>(j)];
+    const double scale = std::max(1.0, std::fabs(x));
+    if (x < col_lo(j) - kFeasTol * scale || x > col_hi(j) + kFeasTol * scale) return false;
+  }
+  for (const Constraint& row : base_.constraints) {
+    double act = 0.0;
+    double scale = std::max(1.0, std::fabs(row.rhs));
+    for (const auto& [v, coef] : row.terms) {
+      act += coef * sol.x[static_cast<std::size_t>(v)];
+      scale = std::max(scale, std::fabs(coef * sol.x[static_cast<std::size_t>(v)]));
+    }
+    const double tol = 1e-6 * scale;
+    if (row.rel == Relation::LessEq && act > row.rhs + tol) return false;
+    if (row.rel == Relation::GreaterEq && act < row.rhs - tol) return false;
+    if (row.rel == Relation::Eq && std::fabs(act - row.rhs) > tol) return false;
+  }
+  return true;
+}
+
+Solution SimplexSolver::resolve(const std::vector<double>& lower,
+                                const std::vector<double>& upper, long max_iters,
+                                double deadline_s, const Basis* hint) {
+  util::Stopwatch clock;
+  // Materialize structural bounds (lp::solve defaults: lower 0, upper +inf).
+  for (int j = 0; j < n_; ++j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    lo_[sj] = sj < lower.size() ? lower[sj] : 0.0;
+    hi_[sj] = sj < upper.size() ? upper[sj] : kInf;
+    if (lo_[sj] > hi_[sj] + kPivEps) return Solution{Status::Infeasible, 0.0, {}, 0};
+  }
+
+  // Repairs statuses the new bounds or a fresh factorization invalidated: a
+  // nonbasic column resting on a bound that is now infinite, or whose
+  // reduced-cost sign prefers the other bound (fixed binaries and Eq slacks
+  // carry arbitrary signs while fixed; when a bound change unfixes them,
+  // flipping to the preferred finite bound restores dual feasibility without
+  // a pivot). Only a wrong-signed column with no finite bound to flip to
+  // reports failure (→ cold path).
+  const auto repair_statuses = [&]() -> bool {
+    for (int j = 0; j < total_; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (stat_[sj] == kBasic) continue;
+      if (col_hi(j) - col_lo(j) < kFixedTol) continue;  // fixed: any sign is dual feasible
+      const double dj = d_[sj];
+      if (stat_[sj] == kAtLower) {
+        if (col_lo(j) <= -kInf || dj < -kDualTol) {
+          if (col_hi(j) < kInf && dj <= kDualTol) {
+            stat_[sj] = kAtUpper;
+          } else {
+            return false;
+          }
+        }
+      } else {  // kAtUpper
+        if (col_hi(j) >= kInf || dj > kDualTol) {
+          if (col_lo(j) > -kInf && dj >= -kDualTol) {
+            stat_[sj] = kAtLower;
+          } else {
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  };
+
+  if (!valid_) {
+    if (!crash()) return fallback(lower, upper, max_iters, deadline_s);
+  } else {
+    if (hint != nullptr && hint->basic == basic_ && hint->status == stat_) ++stats_.warm_exact;
+    if (!repair_statuses()) return fallback(lower, upper, max_iters, deadline_s);
+  }
+
+  recompute_beta();
+
+  // Dual simplex: restore primal feasibility while preserving dual
+  // feasibility (which bound changes cannot break). `refreshed` guards the
+  // refactor-and-retry performed before an Infeasible verdict is trusted.
+  long iters = 0;
+  long stall = 0;
+  long since_check = 0;
+  bool refreshed = false;
+  const auto refresh = [&]() -> bool {
+    if (!refactor() || !repair_statuses()) return false;
+    recompute_beta();
+    return true;
+  };
+  for (;;) {
+    if (iters >= max_iters) return Solution{Status::IterationLimit, 0.0, {}, iters};
+    if (deadline_s > 0 && ++since_check >= 16) {
+      since_check = 0;
+      if (clock.elapsed_seconds() > deadline_s) return Solution{Status::IterationLimit, 0.0, {}, iters};
+    }
+
+    // Leaving row: the basic variable furthest outside its bounds. After a
+    // degenerate stall streak, degrade to the smallest violated row so that
+    // together with smallest-index entering this is Bland's rule for the
+    // dual simplex (termination guarantee).
+    int r = -1;
+    bool below = false;
+    double viol = kFeasTol;
+    for (int i = 0; i < m_; ++i) {
+      const int b = basic_[static_cast<std::size_t>(i)];
+      const double v = beta_[static_cast<std::size_t>(i)];
+      const double under = col_lo(b) - v;
+      const double over = v - col_hi(b);
+      if (under > viol) {
+        viol = under;
+        r = i;
+        below = true;
+      }
+      if (over > viol) {
+        viol = over;
+        r = i;
+        below = false;
+      }
+      if (r == i && stall >= stall_limit_) break;
+    }
+    if (r < 0) break;  // primal feasible + dual feasible → optimal
+
+    ++iters;
+    ++stats_.lp_iterations;
+
+    // Entering column: dual ratio test min |d_j| / |α_j| over columns that
+    // can move the leaving basic back toward its violated bound. The ratio
+    // test is mandatory (skipping it would break dual feasibility); the
+    // Bland fallback only changes the tie-breaking to exact smallest-index
+    // among minimizers, which together with the smallest-row leaving rule
+    // breaks degenerate cycles.
+    const double* row = &tab_[static_cast<std::size_t>(r) * total_];
+    int e = -1;
+    double best_ratio = kInf;
+    const double tie_eps = stall >= stall_limit_ ? 0.0 : kPivEps;
+    for (int j = 0; j < total_; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (stat_[sj] == kBasic) continue;
+      if (col_hi(j) - col_lo(j) < kFixedTol) continue;  // fixed columns cannot enter
+      const double a = row[j];
+      if (std::fabs(a) <= kPivEps) continue;
+      const bool at_lower = stat_[sj] == kAtLower;
+      const bool eligible = below ? (at_lower ? a < 0.0 : a > 0.0)
+                                  : (at_lower ? a > 0.0 : a < 0.0);
+      if (!eligible) continue;
+      const double ratio = std::fabs(d_[sj]) / std::fabs(a);
+      if (ratio < best_ratio - tie_eps) {
+        best_ratio = ratio;
+        e = j;
+      }
+    }
+    if (e < 0) {
+      // No column can repair the violation: the LP is infeasible under these
+      // bounds — but only trust the verdict on clean numerics. Accumulated
+      // pivot error can fabricate both the violation and the empty entering
+      // set, so refactorize once and re-enter the loop before concluding.
+      if (!refreshed) {
+        refreshed = true;
+        if (!refresh()) return fallback(lower, upper, max_iters, deadline_s);
+        continue;
+      }
+      // Genuinely infeasible. The basis itself stays warm-usable.
+      return Solution{Status::Infeasible, 0.0, {}, iters};
+    }
+
+    const int leave = basic_[static_cast<std::size_t>(r)];
+    const double target = below ? col_lo(leave) : col_hi(leave);
+    const double ae = row[e];
+    const double delta = (beta_[static_cast<std::size_t>(r)] - target) / ae;
+    if (std::fabs(d_[static_cast<std::size_t>(e)]) < 10 * kPivEps) {
+      ++stall;  // dual-degenerate pivot
+    } else {
+      stall = 0;
+    }
+
+    const double enter_val = nonbasic_value(e);
+    for (int i = 0; i < m_; ++i) beta_[static_cast<std::size_t>(i)] -= tab(i, e) * delta;
+    stat_[static_cast<std::size_t>(leave)] = below ? kAtLower : kAtUpper;
+    stat_[static_cast<std::size_t>(e)] = kBasic;
+    basic_[static_cast<std::size_t>(r)] = e;
+    beta_[static_cast<std::size_t>(r)] = enter_val + delta;
+
+    pivot(r, e);
+    const double f = d_[static_cast<std::size_t>(e)];
+    if (f != 0.0) {
+      const double* prow = &tab_[static_cast<std::size_t>(r) * total_];
+      for (int c = 0; c < total_; ++c) d_[static_cast<std::size_t>(c)] -= f * prow[c];
+      d_[static_cast<std::size_t>(e)] = 0.0;
+    }
+
+    // Periodic clean factorization bounds the accumulated update error over
+    // long warm streaks.
+    if (++pivots_since_factor_ >= kRefactorEvery) {
+      if (!refresh()) return fallback(lower, upper, max_iters, deadline_s);
+    }
+  }
+
+  Solution sol;
+  sol.status = Status::Optimal;
+  sol.iterations = iters;
+  sol.x.assign(static_cast<std::size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) sol.x[static_cast<std::size_t>(j)] = nonbasic_value(j);
+  for (int i = 0; i < m_; ++i) {
+    const int b = basic_[static_cast<std::size_t>(i)];
+    if (b < n_) sol.x[static_cast<std::size_t>(b)] = beta_[static_cast<std::size_t>(i)];
+  }
+  if (!verify(sol)) return fallback(lower, upper, max_iters, deadline_s);
+  for (int j = 0; j < n_; ++j) {
+    double& x = sol.x[static_cast<std::size_t>(j)];
+    x = std::min(std::max(x, col_lo(j)), col_hi(j));
+    sol.objective += base_.objective[static_cast<std::size_t>(j)] * x;
+  }
+  ++stats_.warm_hits;
+  return sol;
+}
+
+}  // namespace syccl::lp

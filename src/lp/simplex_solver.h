@@ -1,0 +1,122 @@
+// Reusable LP solve context with warm-started re-solves.
+//
+// Branch and bound re-solves the same constraint matrix hundreds of times
+// under changing variable bounds. lp::solve() pays the full two-phase primal
+// cost every time; SimplexSolver is constructed once from the constraint
+// matrix and re-enters from the previous optimal basis instead. Bound
+// changes leave reduced costs — and therefore dual feasibility — intact, so
+// a dual-simplex phase restores primal feasibility in a handful of pivots.
+//
+// Formulation: every row is turned into an equality with one slack column
+// (≤: s ∈ [0,∞); ≥: s ∈ (−∞,0]; =: s ∈ [0,0]) and variable bounds are kept
+// implicit (bounded-variable simplex, no bound rows and no x−l shift). The
+// dense tableau B⁻¹[A|I] therefore never changes shape across re-solves; a
+// resolve only recomputes the basic values from the new bounds.
+//
+// Cold starts use a dual-feasible "crash" basis (all slacks basic, each
+// structural column at the bound its cost sign prefers). When no such basis
+// exists (negative cost with an infinite upper bound), when numerical drift
+// is detected, or when the result fails a residual check, the solver falls
+// back to the exact two-phase primal path in lp::solve() and rebuilds its
+// state on the next call.
+#pragma once
+
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace syccl::lp {
+
+/// Snapshot of a simplex basis: which column is basic in each row plus the
+/// at-lower/at-upper/basic status of every column. Cheap to copy and share
+/// between sibling branch-and-bound nodes.
+struct Basis {
+  std::vector<int> basic;            ///< per row: basic column index
+  std::vector<signed char> status;   ///< per column: ColumnStatus value
+
+  bool operator==(const Basis&) const = default;
+};
+
+class SimplexSolver {
+ public:
+  enum ColumnStatus : signed char { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
+
+  struct Stats {
+    long lp_iterations = 0;   ///< dual pivots + fallback primal pivots
+    long warm_hits = 0;       ///< resolves completed by dual-simplex re-entry
+    long warm_exact = 0;      ///< warm hits that started from the hinted basis
+    long warm_fallbacks = 0;  ///< resolves served by the cold two-phase path
+    long crashes = 0;         ///< dual-feasible crash bases built
+    long refactors = 0;       ///< tableau rebuilds from the current basis
+  };
+
+  /// Fixes the constraint matrix and objective. Bounds held by `base` are
+  /// ignored — each resolve() supplies its own. Throws std::invalid_argument
+  /// if a constraint references an unknown variable. `stall_limit` is the
+  /// number of consecutive dual-degenerate pivots tolerated before entering
+  /// and leaving selection degrade to Bland's rule (anti-cycling); tests set
+  /// it to 0 to force the Bland path.
+  explicit SimplexSolver(const Problem& base, long stall_limit = 2000);
+
+  /// Solves min cᵀx s.t. the fixed constraints and l ≤ x ≤ u. Warm-starts
+  /// from the internal basis when one is available (any basis left by a
+  /// previous resolve is dual feasible for the new bounds, because bounds do
+  /// not enter the reduced costs), else crashes a fresh dual-feasible basis;
+  /// falls back to lp::solve() when neither is possible. `hint` (optional)
+  /// is a basis snapshot — when it matches the internal state the re-entry
+  /// is exact and counted in Stats::warm_exact. `max_iters` and `deadline_s`
+  /// bound the pivot count / wall-clock of this resolve.
+  Solution resolve(const std::vector<double>& lower, const std::vector<double>& upper,
+                   long max_iters = 200000, double deadline_s = 0.0,
+                   const Basis* hint = nullptr);
+
+  /// Snapshot of the current basis (empty if no solve has populated one).
+  Basis basis() const;
+
+  const Stats& stats() const { return stats_; }
+  int num_rows() const { return m_; }
+  int num_cols() const { return total_; }
+
+ private:
+  double& tab(int r, int c) { return tab_[static_cast<std::size_t>(r) * total_ + c]; }
+  double tab(int r, int c) const { return tab_[static_cast<std::size_t>(r) * total_ + c]; }
+  double col_lo(int c) const;
+  double col_hi(int c) const;
+  /// Active-bound value of a nonbasic column under the current bounds.
+  double nonbasic_value(int c) const;
+
+  /// Rebuilds tableau/basis as the dual-feasible crash basis; false if the
+  /// bound/cost pattern admits none.
+  bool crash();
+  /// Rebuilds the tableau, B⁻¹b and reduced costs from scratch for the
+  /// current basis (Gauss-Jordan on [A|I]), wiping accumulated pivot error;
+  /// false if the basis has gone numerically singular.
+  bool refactor();
+  /// β = B⁻¹b − Σ_{j nonbasic} (B⁻¹A)_j · (active bound of j).
+  void recompute_beta();
+  /// Exact cold solve through lp::solve(); invalidates the warm state.
+  Solution fallback(const std::vector<double>& lower, const std::vector<double>& upper,
+                    long max_iters, double deadline_s);
+  void pivot(int pr, int pc);
+  /// Verifies the assembled solution against the original rows and bounds.
+  bool verify(const Solution& sol) const;
+
+  Problem base_;  ///< constraints + objective (bounds unused)
+  int n_ = 0;     ///< structural columns
+  int m_ = 0;     ///< rows
+  int total_ = 0; ///< n_ + m_ (structurals + slacks)
+
+  std::vector<double> tab_;   ///< dense m_ × total_ tableau B⁻¹[A|I]
+  std::vector<double> rhs0_;  ///< B⁻¹b (b never changes across resolves)
+  std::vector<double> d_;     ///< reduced costs, maintained across pivots
+  std::vector<int> basic_;    ///< per row: basic column
+  std::vector<signed char> stat_;  ///< per column: ColumnStatus
+  std::vector<double> beta_;  ///< per row: basic value (recomputed per resolve)
+  std::vector<double> lo_, hi_;    ///< current column bounds (structurals + slacks)
+  long stall_limit_ = 2000;   ///< degenerate pivots before the Bland fallback
+  long pivots_since_factor_ = 0;  ///< update count since the last clean factorization
+  bool valid_ = false;        ///< tableau/basis state usable for warm re-entry
+  Stats stats_;
+};
+
+}  // namespace syccl::lp

@@ -1,11 +1,20 @@
 // Mixed-integer linear programming by LP-based branch and bound.
 //
 // This module plays the role of the commercial MILP solver (Gurobi) in the
-// paper's pipeline. Best-first search over LP relaxations, branching on the
-// most fractional integer variable. A warm-start incumbent (from the greedy
-// scheduler, §5.3) both bounds the search and guarantees a feasible answer
-// under node/time limits — mirroring how the paper runs Gurobi with a
-// timeout and keeps the best incumbent.
+// paper's pipeline. Best-first search over LP relaxations. A warm-start
+// incumbent (from the greedy scheduler, §5.3) both bounds the search and
+// guarantees a feasible answer under node/time limits — mirroring how the
+// paper runs Gurobi with a timeout and keeps the best incumbent.
+//
+// Node LPs are re-solved warm: one lp::SimplexSolver is built per MILP
+// instance and each node re-enters from the previous basis via dual simplex
+// (bound changes leave the basis dual feasible). Nodes store only their
+// branching delta plus the parent's basis snapshot; bounds are materialized
+// on pop. A cheap per-node presolve propagates the branched bound through
+// the rows that contain it and can prune the node without an LP call.
+// Branching uses pseudocosts (seeded from objective coefficients, updated
+// from observed per-branch degradation); most-fractional selection remains
+// available as a toggle.
 #pragma once
 
 #include <functional>
@@ -29,6 +38,13 @@ struct MilpOptions {
   /// Relative optimality gap at which search stops.
   double gap_tol = 1e-6;
   long lp_iteration_limit = 20000;
+  /// Re-solve node LPs warm from the previous basis (dual simplex) instead
+  /// of cold two-phase solves. Changes speed, not answers.
+  bool use_warm_start = true;
+  /// Pseudocost branching; false reverts to most-fractional selection.
+  bool use_pseudocost = true;
+  /// Per-node bound propagation on the branched variable's rows.
+  bool use_presolve = true;
 };
 
 enum class MilpStatus {
@@ -46,6 +62,17 @@ struct MilpSolution {
   long nodes_explored = 0;
   /// Best LP lower bound at termination (for gap reporting).
   double best_bound = -lp::kInf;
+  /// Simplex pivots across all node LPs (warm re-solves + fallbacks).
+  long lp_iterations = 0;
+  /// Node LPs served by warm dual-simplex re-entry.
+  long warm_hits = 0;
+  /// Node LPs that fell back to the cold two-phase primal path.
+  long warm_fallbacks = 0;
+  /// Nodes pruned by per-node bound propagation before any LP call.
+  long presolve_prunes = 0;
+  /// Nodes whose LP hit the iteration/time limit. Their subtrees were never
+  /// bounded, so Optimal/Infeasible claims are downgraded when > 0.
+  long dropped_nodes = 0;
 };
 
 /// Solves the MILP. `incumbent`, if given, must be integer-feasible; it

@@ -287,6 +287,10 @@ SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions
       const auto warm = incumbent_vector(enc, demand, ep, best);
       const milp::MilpSolution sol = milp::solve(enc.problem, mopts, warm);
       local.nodes_explored = sol.nodes_explored;
+      local.lp_iterations = sol.lp_iterations;
+      local.warm_hits = sol.warm_hits;
+      local.warm_fallbacks = sol.warm_fallbacks;
+      local.presolve_prunes = sol.presolve_prunes;
       if ((sol.status == milp::MilpStatus::Optimal || sol.status == milp::MilpStatus::Feasible) &&
           !sol.x.empty()) {
         SubSchedule cand = decode(enc, ep, sol.x);
@@ -314,6 +318,21 @@ int encode_sub_demand_binaries(const SubDemand& demand, double E, int horizon) {
   demand.validate();
   const EpochParams ep = derive_epoch_params(*demand.group, demand.piece_bytes, E);
   return encode(demand, ep, horizon).binaries;
+}
+
+SubDemandEncoding encode_sub_demand_milp(const SubDemand& demand, double E, int horizon) {
+  demand.validate();
+  const EpochParams ep = derive_epoch_params(*demand.group, demand.piece_bytes, E);
+  const SubSchedule greedy = solve_greedy(demand, ep);
+  const int T = horizon > 0 ? horizon : greedy.num_epochs;
+  Encoding enc = encode(demand, ep, T);
+  SubDemandEncoding out;
+  out.binaries = enc.binaries;
+  out.horizon = T;
+  // The greedy incumbent only fits encodings whose horizon covers it.
+  if (greedy.num_epochs <= T) out.incumbent = incumbent_vector(enc, demand, ep, greedy);
+  out.problem = std::move(enc.problem);
+  return out;
 }
 
 }  // namespace syccl::solver

@@ -12,6 +12,9 @@
 // uninvolved GPU cannot reduce the bottleneck port load.
 #pragma once
 
+#include <vector>
+
+#include "milp/branch_and_bound.h"
 #include "solver/epoch_model.h"
 
 namespace syccl::solver {
@@ -37,6 +40,13 @@ struct SolveStats {
   double solve_seconds = 0.0;
   long nodes_explored = 0;
   int binaries = 0;
+  /// Simplex pivots across all node LPs of the MILP solve.
+  long lp_iterations = 0;
+  /// Node LPs served by warm dual-simplex re-entry / cold fallbacks.
+  long warm_hits = 0;
+  long warm_fallbacks = 0;
+  /// Nodes pruned by per-node bound propagation before any LP call.
+  long presolve_prunes = 0;
 };
 
 /// Solves `demand`: derives epoch parameters from the group and `options.E`,
@@ -50,5 +60,20 @@ SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions
 /// bench_micro can track the encode step in isolation; solving goes through
 /// solve_sub_demand.
 int encode_sub_demand_binaries(const SubDemand& demand, double E, int horizon);
+
+/// A fully-built MILP encoding of one sub-demand, with the greedy schedule
+/// translated into an integer-feasible incumbent vector. Exposed so
+/// bench_milp can exercise the branch-and-bound / warm-started-LP stack on
+/// representative encodings without going through the synthesis pipeline.
+struct SubDemandEncoding {
+  milp::MilpProblem problem;
+  std::vector<double> incumbent;  ///< greedy schedule as a MILP warm start
+  int binaries = 0;
+  int horizon = 0;  ///< epochs encoded (greedy completion when derived)
+};
+
+/// Encodes `demand` over `horizon` epochs (`horizon` ≤ 0 uses the greedy
+/// schedule's completion epoch, the same horizon solve_sub_demand uses).
+SubDemandEncoding encode_sub_demand_milp(const SubDemand& demand, double E, int horizon = 0);
 
 }  // namespace syccl::solver

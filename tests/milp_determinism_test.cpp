@@ -1,0 +1,84 @@
+// Determinism tests for the MILP branch and bound.
+//
+// Scheduling must be reproducible run to run: the same MilpProblem solved
+// twice yields a byte-identical incumbent, and the performance toggles
+// (warm start, pseudocost branching, presolve) change speed, not answers —
+// on problems with a unique optimum every configuration lands on the same
+// bit pattern.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "milp/branch_and_bound.h"
+
+namespace syccl::milp {
+namespace {
+
+using lp::Constraint;
+using lp::Relation;
+
+// Knapsack with distinct costs and weights chosen so the optimum is unique:
+// maximize Σ c_i x_i, Σ w_i x_i ≤ 11, binary. Unique best is {b, d} = 31.
+MilpProblem unique_knapsack() {
+  MilpProblem m;
+  m.lp.add_var(0, 1, -10);  // a, w 5
+  m.lp.add_var(0, 1, -14);  // b, w 6
+  m.lp.add_var(0, 1, -7);   // c, w 4
+  m.lp.add_var(0, 1, -17);  // d, w 5
+  m.lp.add_constraint(
+      {{{0, 5.0}, {1, 6.0}, {2, 4.0}, {3, 5.0}}, Relation::LessEq, 11.0});
+  m.is_integer.assign(4, true);
+  return m;
+}
+
+void expect_bytes_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0);
+}
+
+TEST(MilpDeterminism, RepeatedSolvesAreByteIdentical) {
+  const MilpProblem m = unique_knapsack();
+  const MilpSolution first = solve(m);
+  const MilpSolution second = solve(m);
+  ASSERT_EQ(first.status, MilpStatus::Optimal);
+  ASSERT_EQ(second.status, MilpStatus::Optimal);
+  expect_bytes_equal(first.x, second.x);
+  EXPECT_EQ(first.objective, second.objective);
+  EXPECT_EQ(first.nodes_explored, second.nodes_explored);
+}
+
+TEST(MilpDeterminism, TogglesChangeSpeedNotAnswers) {
+  const MilpProblem m = unique_knapsack();
+  const MilpSolution reference = solve(m);
+  ASSERT_EQ(reference.status, MilpStatus::Optimal);
+  EXPECT_NEAR(reference.objective, -31.0, 1e-9);
+
+  for (const bool warm : {true, false}) {
+    for (const bool pseudo : {true, false}) {
+      for (const bool presolve : {true, false}) {
+        MilpOptions opts;
+        opts.use_warm_start = warm;
+        opts.use_pseudocost = pseudo;
+        opts.use_presolve = presolve;
+        const MilpSolution s = solve(m, opts);
+        ASSERT_EQ(s.status, MilpStatus::Optimal)
+            << "warm=" << warm << " pseudo=" << pseudo << " presolve=" << presolve;
+        expect_bytes_equal(reference.x, s.x);
+      }
+    }
+  }
+}
+
+TEST(MilpDeterminism, IncumbentSeededSolveIsByteIdentical) {
+  const MilpProblem m = unique_knapsack();
+  std::vector<double> weak = {1.0, 0.0, 1.0, 0.0};  // obj -17, feasible (w 9)
+  const MilpSolution a = solve(m, {}, weak);
+  const MilpSolution b = solve(m, {}, weak);
+  ASSERT_EQ(a.status, MilpStatus::Optimal);
+  EXPECT_NEAR(a.objective, -31.0, 1e-9);
+  expect_bytes_equal(a.x, b.x);
+}
+
+}  // namespace
+}  // namespace syccl::milp

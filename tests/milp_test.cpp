@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "milp/branch_and_bound.h"
+#include "util/stopwatch.h"
 
 namespace syccl::milp {
 namespace {
@@ -120,6 +121,64 @@ TEST(Milp, AssignmentProblemIsIntegralAnyway) {
   // Optimal assignment: r0→c1 (2), r1→c0 (4), r2→c2 (6) = 12, vs 4+3+? check
   // alternatives: r0→c0(4), r1→c2(7), r2→c1(1) = 12. Either way 12.
   EXPECT_NEAR(s.objective, 12.0, 1e-6);
+}
+
+TEST(Milp, TimeBudgetRespected) {
+  // Hard subset-sum-flavoured knapsack: near-equal weights force deep search.
+  // The solver must stop close to the 50 ms budget instead of letting each
+  // node LP stretch it (the old code floored every node's deadline at 50 ms).
+  MilpProblem m;
+  Constraint cap;
+  for (int i = 0; i < 26; ++i) {
+    m.lp.add_var(0, 1, -(100.0 + i));
+    cap.terms.push_back({i, 100.0 + 1.37 * i});
+  }
+  cap.rel = Relation::LessEq;
+  cap.rhs = 1300.0;
+  m.lp.add_constraint(cap);
+  m.is_integer.assign(26, true);
+
+  MilpOptions opts;
+  opts.time_limit_s = 0.05;
+  opts.node_limit = 1000000000;
+  util::Stopwatch sw;
+  const MilpSolution s = solve(m, opts);
+  const double wall = sw.elapsed_seconds();
+  EXPECT_LT(wall, 0.5) << "time budget overrun: " << wall << " s";
+  // Whatever it returns under the budget must be internally consistent.
+  if (s.status == MilpStatus::Optimal || s.status == MilpStatus::Feasible) {
+    EXPECT_LE(s.best_bound, s.objective + 1e-6);
+  }
+}
+
+TEST(Milp, DroppedNodesDowngradeOptimal) {
+  // lp_iteration_limit = 1 makes every node LP hit IterationLimit, so the
+  // tree is never actually bounded. With an incumbent the result must be
+  // Feasible (not a false Optimal); without one, Limit (not Infeasible).
+  MilpProblem m;
+  Constraint cap;
+  for (int i = 0; i < 12; ++i) {
+    m.lp.add_var(0, 1, -(1.0 + 0.1 * i));
+    cap.terms.push_back({i, 1.0 + 0.05 * i});
+  }
+  cap.rel = Relation::LessEq;
+  cap.rhs = 6.0;
+  m.lp.add_constraint(cap);
+  m.is_integer.assign(12, true);
+
+  MilpOptions opts;
+  opts.lp_iteration_limit = 1;
+
+  std::vector<double> greedy(12, 0.0);
+  greedy[11] = 1.0;
+  const MilpSolution with_inc = solve(m, opts, greedy);
+  EXPECT_EQ(with_inc.status, MilpStatus::Feasible);
+  EXPECT_GT(with_inc.dropped_nodes, 0);
+  EXPECT_NEAR(with_inc.objective, -2.1, 1e-9);  // incumbent survives
+
+  const MilpSolution without = solve(m, opts);
+  EXPECT_EQ(without.status, MilpStatus::Limit);
+  EXPECT_GT(without.dropped_nodes, 0);
 }
 
 TEST(Milp, RejectsBadSizes) {

@@ -1,0 +1,182 @@
+// Property tests for warm-started LP re-solves (lp::SimplexSolver).
+//
+// The warm path must be an exact drop-in for the cold two-phase solver: for
+// any bounded LP and any sequence of bound perturbations, resolve() and
+// lp::solve() must agree on status and (when Optimal) on objective value.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/simplex.h"
+#include "lp/simplex_solver.h"
+#include "util/rng.h"
+
+namespace syccl::lp {
+namespace {
+
+// Random LP with finite bounds, feasible by construction: the rhs of every
+// row is chosen so that a random interior point x0 satisfies it.
+Problem random_lp(util::Rng& rng) {
+  Problem p;
+  const int n = static_cast<int>(rng.next_in(3, 8));
+  std::vector<double> x0(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double lo = -3.0 * rng.next_double();
+    const double hi = lo + 0.5 + 4.0 * rng.next_double();
+    const double cost = -2.0 + 4.0 * rng.next_double();
+    p.add_var(lo, hi, cost);
+    x0[static_cast<std::size_t>(i)] = lo + rng.next_double() * (hi - lo);
+  }
+  const int m = static_cast<int>(rng.next_in(2, 6));
+  for (int r = 0; r < m; ++r) {
+    Constraint c;
+    double activity = 0.0;
+    const int terms = static_cast<int>(rng.next_in(1, n));
+    for (int t = 0; t < terms; ++t) {
+      const int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+      const double coef = (rng.next_double() < 0.5 ? -1.0 : 1.0) * (0.2 + 2.8 * rng.next_double());
+      c.terms.push_back({v, coef});
+      activity += coef * x0[static_cast<std::size_t>(v)];
+    }
+    const std::uint64_t kind = rng.next_below(3);
+    if (kind == 0) {
+      c.rel = Relation::LessEq;
+      c.rhs = activity + 2.0 * rng.next_double();
+    } else if (kind == 1) {
+      c.rel = Relation::GreaterEq;
+      c.rhs = activity - 2.0 * rng.next_double();
+    } else {
+      c.rel = Relation::Eq;
+      c.rhs = activity;  // x0 satisfies it exactly
+    }
+    p.add_constraint(c);
+  }
+  return p;
+}
+
+// Tightens or loosens one random variable bound, keeping lo <= hi. The LP may
+// become infeasible through its constraints; both solvers must agree on that.
+void perturb_bounds(util::Rng& rng, const Problem& p, std::vector<double>& lo,
+                    std::vector<double>& hi) {
+  const int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p.num_vars)));
+  const std::size_t vi = static_cast<std::size_t>(v);
+  const double width = hi[vi] - lo[vi];
+  if (rng.next_double() < 0.5) {
+    lo[vi] += rng.next_double() * 0.9 * width;
+  } else {
+    hi[vi] -= rng.next_double() * 0.9 * width;
+  }
+}
+
+// Cold reference: the same LP with the given bounds through lp::solve().
+Solution solve_cold(Problem p, const std::vector<double>& lo, const std::vector<double>& hi) {
+  p.lower = lo;
+  p.upper = hi;
+  return solve(p);
+}
+
+void expect_agreement(const Solution& warm, const Solution& cold, std::uint64_t seed, int step) {
+  ASSERT_EQ(warm.status, cold.status) << "seed " << seed << " step " << step;
+  if (warm.status == Status::Optimal) {
+    const double scale = 1.0 + std::fabs(cold.objective);
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-6 * scale)
+        << "seed " << seed << " step " << step;
+  }
+}
+
+TEST(WarmLp, MatchesColdSolveAcrossRandomLps) {
+  int optimal_seen = 0;
+  int infeasible_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    util::Rng rng(seed);
+    const Problem p = random_lp(rng);
+    SimplexSolver solver(p);
+    std::vector<double> lo = p.lower;
+    std::vector<double> hi = p.upper;
+    // First resolve is a cold crash; the following five reuse the basis.
+    for (int step = 0; step < 6; ++step) {
+      const Solution warm = solver.resolve(lo, hi);
+      const Solution cold = solve_cold(p, lo, hi);
+      expect_agreement(warm, cold, seed, step);
+      if (warm.status == Status::Optimal) ++optimal_seen;
+      if (warm.status == Status::Infeasible) ++infeasible_seen;
+      perturb_bounds(rng, p, lo, hi);
+    }
+    EXPECT_GT(solver.stats().warm_hits, 0) << "seed " << seed;
+  }
+  // The generator must actually exercise both outcomes.
+  EXPECT_GT(optimal_seen, 100);
+  EXPECT_GT(infeasible_seen, 0);
+}
+
+TEST(WarmLp, WarmResolveReusesBasisCheaply) {
+  // After the first solve, tiny bound perturbations should resolve in far
+  // fewer pivots than a cold solve of the same LP.
+  util::Rng rng(7);
+  const Problem p = random_lp(rng);
+  SimplexSolver solver(p);
+  std::vector<double> lo = p.lower;
+  std::vector<double> hi = p.upper;
+  ASSERT_EQ(solver.resolve(lo, hi).status, Status::Optimal);
+  const long after_first = solver.stats().lp_iterations;
+  lo[0] += 1e-3;
+  const Solution warm = solver.resolve(lo, hi);
+  ASSERT_EQ(warm.status, Status::Optimal);
+  EXPECT_EQ(solver.stats().warm_fallbacks, 0);
+  EXPECT_LE(solver.stats().lp_iterations - after_first, after_first + 2);
+}
+
+// The degenerate LP from lp_test with finite upper bounds (so the crash basis
+// exists). Repeated resolves under perturbed bounds with stall_limit = 0 force
+// every pivot through the Bland's-rule selection path; the solver must still
+// terminate and agree with the cold reference while reusing its basis.
+TEST(WarmLp, DegeneratePivotsUnderBlandFallback) {
+  Problem p;
+  const int x1 = p.add_var(0, 50.0, -0.75);
+  const int x2 = p.add_var(0, 50.0, 150.0);
+  const int x3 = p.add_var(0, 1.0, -0.02);
+  const int x4 = p.add_var(0, 50.0, 6.0);
+  p.add_constraint({{{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}}, Relation::LessEq, 0.0});
+  p.add_constraint({{{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}}, Relation::LessEq, 0.0});
+  p.add_constraint({{{x3, 1.0}}, Relation::LessEq, 1.0});
+
+  SimplexSolver bland(p, /*stall_limit=*/0);
+  std::vector<double> lo = p.lower;
+  std::vector<double> hi = p.upper;
+  util::Rng rng(11);
+  for (int step = 0; step < 20; ++step) {
+    const Solution warm = bland.resolve(lo, hi);
+    const Solution cold = solve_cold(p, lo, hi);
+    expect_agreement(warm, cold, 11, step);
+    perturb_bounds(rng, p, lo, hi);
+  }
+  EXPECT_GT(bland.stats().warm_hits, 0);
+}
+
+TEST(WarmLp, InfeasibleBoundsDetectedWithoutPivoting) {
+  Problem p;
+  p.add_var(0.0, 1.0, 1.0);
+  p.add_constraint({{{0, 1.0}}, Relation::LessEq, 5.0});
+  SimplexSolver solver(p);
+  const Solution s = solver.resolve({2.0}, {1.0});  // lo > hi
+  EXPECT_EQ(s.status, Status::Infeasible);
+}
+
+TEST(WarmLp, BasisSnapshotRoundTrips) {
+  util::Rng rng(3);
+  const Problem p = random_lp(rng);
+  SimplexSolver solver(p);
+  ASSERT_EQ(solver.resolve(p.lower, p.upper).status, Status::Optimal);
+  const Basis snap = solver.basis();
+  ASSERT_EQ(static_cast<int>(snap.basic.size()), solver.num_rows());
+  ASSERT_EQ(static_cast<int>(snap.status.size()), solver.num_cols());
+  // Re-solving the identical bounds with the matching hint is an exact warm
+  // re-entry.
+  ASSERT_EQ(solver.resolve(p.lower, p.upper, 200000, 0.0, &snap).status, Status::Optimal);
+  EXPECT_GT(solver.stats().warm_exact, 0);
+  EXPECT_EQ(snap, solver.basis());
+}
+
+}  // namespace
+}  // namespace syccl::lp
