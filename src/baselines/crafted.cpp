@@ -16,6 +16,29 @@ int check_ranks(const coll::Collective& coll, const topo::TopologyGroups& groups
   return n;
 }
 
+/// True when dimension 1's groups are genuine rails: every group holds
+/// exactly one GPU of every dimension-0 server. The improved hierarchical
+/// schedule relies on this — stage 1 fans a chunk along its holder's rail to
+/// reach *all* other servers, and stage 2 expects each server to hold exactly
+/// one member of each rail. Clos leaf tiers (groups spanning a subset of
+/// servers) violate it.
+bool rails_span_all_servers(const topo::TopologyGroups& groups) {
+  if (groups.num_dims() < 2) return false;
+  const auto& servers = groups.dims[0].groups;
+  for (const auto& rail : groups.dims[1].groups) {
+    std::vector<int> count(servers.size(), 0);
+    for (int r : rail.ranks) {
+      const int sv = groups.group_of[0][static_cast<std::size_t>(r)];
+      if (sv < 0) return false;
+      ++count[static_cast<std::size_t>(sv)];
+    }
+    for (int c : count) {
+      if (c != 1) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 sim::Schedule crafted_direct_allgather(const coll::Collective& coll,
@@ -100,7 +123,8 @@ sim::Schedule crafted_hierarchical_allgather(const coll::Collective& coll,
 sim::Schedule crafted_improved_hierarchical_allgather(const coll::Collective& coll,
                                                       const topo::TopologyGroups& groups) {
   const int n = check_ranks(coll, groups);
-  if (groups.num_dims() < 2 || groups.dims[1].groups.size() < 2) {
+  if (groups.num_dims() < 2 || groups.dims[1].groups.size() < 2 ||
+      !rails_span_all_servers(groups)) {
     throw std::invalid_argument("improved hierarchical needs a multi-rail topology");
   }
   sim::Schedule s;
@@ -177,7 +201,7 @@ std::vector<sim::Schedule> crafted_allgather_suite(const coll::Collective& coll,
   out.push_back(crafted_direct_allgather(coll, groups));
   out.push_back(crafted_hierarchical_allgather(coll, groups));
   if (include_improved && groups.num_dims() >= 2 && groups.dims[1].groups.size() > 1 &&
-      groups.dims[0].groups.front().size() >= 2) {
+      groups.dims[0].groups.front().size() >= 2 && rails_span_all_servers(groups)) {
     out.push_back(crafted_improved_hierarchical_allgather(coll, groups));
   }
   return out;

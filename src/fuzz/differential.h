@@ -1,0 +1,53 @@
+// One differential fuzz case: generators → all oracles → divergence report.
+//
+// A case is fully determined by a 64-bit seed. It draws a topology, a
+// collective and simulator options, gathers schedules from three sources —
+// random direct schedules plus validity-preserving mutants, the baselines
+// (NCCL rings/trees, TECCL, crafted), and optionally the full synthesizer —
+// and pushes every schedule through four independent checkers:
+//
+//   1. runtime::validate_schedule  (structural)
+//   2. runtime::execute_and_verify (data plane, byte-for-byte)
+//   3. sim::Simulator              (production timing + final state)
+//   4. sim::oracle_run             (reference timing + final state)
+//
+// A case fails if any checker reports an error, if the production simulator
+// and the oracle disagree (makespan/op times beyond the relative tolerance,
+// or different final piece/contributor state), or if exactly one of them
+// throws. Used by tools/fuzz_schedules (CLI sweeps, corpus replay) and by
+// the default-suite smoke test in tests/differential_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace syccl::fuzz {
+
+struct CaseOptions {
+  /// Also synthesize a schedule with core::Synthesizer (slow; a full §3.3
+  /// search per case) and check it.
+  bool with_synthesizer = false;
+  /// Check baseline generators (NCCL, TECCL, crafted) where applicable.
+  bool with_baselines = true;
+  /// Number of mutated variants of the direct random schedule.
+  int mutants = 2;
+  /// Divergence tolerance on times (relative).
+  double rel_tol = 1e-9;
+};
+
+struct CaseResult {
+  std::uint64_t seed = 0;
+  std::string desc;  ///< topology / collective / sim-options summary
+  int schedules_checked = 0;
+  std::size_t sim_events = 0;
+  /// One entry per divergence or checker error; empty means the case passed.
+  std::vector<std::string> failures;
+};
+
+/// Runs one seeded case. Never throws on schedule-level problems (they land
+/// in failures); throws only on harness bugs (e.g. generator produced a
+/// schedule no checker accepts as input at all).
+CaseResult run_differential_case(std::uint64_t seed, const CaseOptions& options = {});
+
+}  // namespace syccl::fuzz

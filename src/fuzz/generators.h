@@ -1,0 +1,64 @@
+// Reusable random generators for the differential fuzz harness.
+//
+// Everything is seeded through util::Rng, so any case is replayable from a
+// single 64-bit seed (tools/fuzz_schedules --replay, tests/corpus/). Three
+// layers:
+//
+//   * random_topology   — small multi-dimensional clusters via src/topo
+//                         builders with jittered link parameters;
+//   * random_collective — any §2.1 pattern with random root/size, plus
+//                         random chunk splitting at the schedule layer;
+//   * random_direct_schedule / mutate_schedule — valid-by-construction
+//                         schedules (random relay trees / reduce in-trees on
+//                         the rank connectivity graph) and validity-
+//                         preserving mutations (dependency-safe reordering,
+//                         dim reassignment, redundant deliveries, phase
+//                         splits) that stress simulator paths the
+//                         synthesizer never emits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coll/collective.h"
+#include "sim/schedule.h"
+#include "topo/groups.h"
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace syccl::fuzz {
+
+struct RandomTopology {
+  topo::Topology topo;
+  std::string desc;  ///< human-readable shape, for replay logs
+};
+
+/// Draws a small topology (2–24 ranks): single server, flat switch,
+/// multi-rail (with/without spine) or Clos, with jittered α/bandwidth, plus
+/// the paper's fixed testbeds occasionally.
+RandomTopology random_topology(util::Rng& rng);
+
+/// Draws a collective of any §2.1 kind over `num_ranks` ranks with a random
+/// root and a random size between 1 KB and 4 MB.
+coll::Collective random_collective(util::Rng& rng, int num_ranks);
+
+/// Rank-level connectivity: ranks are adjacent iff they share a group in
+/// some dimension (i.e. a direct transfer between them is schedulable).
+std::vector<std::vector<int>> rank_adjacency(const topo::TopologyGroups& groups);
+
+/// Builds a random valid schedule for `coll` directly on the connectivity
+/// graph: forward collectives route every chunk through a random relay tree
+/// (with random chunk splits); reduce collectives build a random in-tree per
+/// reduced block, deepest-first so no partial is forwarded before its
+/// inbound contributions arrive. Throws if the connectivity graph is
+/// disconnected.
+sim::Schedule random_direct_schedule(const coll::Collective& coll,
+                                     const topo::TopologyGroups& groups, util::Rng& rng);
+
+/// Applies `count` random validity-preserving mutations in place:
+/// piece-order-preserving reordering, dim reassignment, redundant forward
+/// deliveries, and phase splitting.
+void mutate_schedule(sim::Schedule& schedule, const topo::TopologyGroups& groups,
+                     util::Rng& rng, int count = 2);
+
+}  // namespace syccl::fuzz

@@ -74,12 +74,20 @@ ValidationReport validate_schedule(const sim::Schedule& schedule, const coll::Co
     if (!p.reduce && have.count({op.piece, op.dst}) != 0) {
       report.warnings.push_back(fmt_op(oi, op) + ": redundant delivery (bandwidth waste)");
     }
-    have.insert({op.piece, op.dst});
     if (p.reduce) {
       auto& dst_set = contrib[{op.piece, op.dst}];
       const auto& src_set = contrib[{op.piece, op.src}];
+      // A reduce delivery whose source set adds no contributor the
+      // destination does not already hold is pure bandwidth waste (and a
+      // double-count hazard for non-idempotent reductions).
+      if (have.count({op.piece, op.dst}) != 0 &&
+          std::includes(dst_set.begin(), dst_set.end(), src_set.begin(), src_set.end())) {
+        report.warnings.push_back(fmt_op(oi, op) +
+                                  ": redundant delivery (no new contributors)");
+      }
       dst_set.insert(src_set.begin(), src_set.end());
     }
+    have.insert({op.piece, op.dst});
     report.traffic_per_dim[static_cast<std::size_t>(dim)] += p.bytes;
     report.total_traffic += p.bytes;
   }

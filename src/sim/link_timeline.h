@@ -1,0 +1,38 @@
+// Busy-interval timeline of one directed physical link.
+//
+// Extracted from the simulator so the merge/allocation logic can be unit
+// tested in isolation (fragmentation regressions are invisible end-to-end:
+// they only change asymptotics, not results).
+//
+// Allocation policy: a transfer that becomes ready while the link is idle may
+// claim the gap even if an earlier-issued transfer is still waiting for its
+// data — links arbitrate per packet, they do not head-of-line block on
+// program order.
+//
+// Interval merging is a pure compaction: two busy intervals merge when they
+// touch exactly or are separated by a gap below a few ulps of the interval
+// endpoints (relative, so it works at any time scale). Gaps that small cannot
+// host any transfer of realistic duration, so merging never changes an
+// allocation result beyond ulp-level rounding.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+namespace syccl::sim {
+
+class LinkTimeline {
+ public:
+  /// Allocates `dur` seconds starting no earlier than `ready`; returns the
+  /// start time. Zero/negative durations claim no slot and start at `ready`.
+  double allocate(double ready, double dur);
+
+  /// Number of stored busy intervals (merged). Exposed for the fragmentation
+  /// unit tests; a saturated link must stay at O(1) intervals.
+  std::size_t num_intervals() const { return intervals_.size(); }
+
+ private:
+  std::map<double, double> intervals_;  // start -> end
+};
+
+}  // namespace syccl::sim

@@ -1,0 +1,295 @@
+#include "sim/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace syccl::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Naive FIFO timeline of one directed link: a plain list of busy intervals
+/// sorted by start, never merged. Allocation scans for the earliest gap of
+/// the requested width at or after `ready` — O(n) per call, exact.
+struct NaiveTimeline {
+  std::vector<std::pair<double, double>> busy;  // disjoint, sorted by start
+
+  double allocate(double ready, double dur) {
+    if (dur <= 0) return ready;
+    double t = ready;
+    for (const auto& [s, e] : busy) {
+      if (e <= t) continue;       // entirely before the candidate start
+      if (s >= t + dur) break;    // gap wide enough: take it
+      t = std::max(t, e);         // conflict: retry after this interval
+    }
+    const auto pos = std::upper_bound(busy.begin(), busy.end(), std::make_pair(t, t));
+    busy.insert(pos, {t, t + dur});
+    return t;
+  }
+};
+
+struct RefPiece {
+  std::vector<double> block_arrival;
+  std::set<int> contributors;
+  bool present = false;
+  bool forwarded = false;
+};
+
+std::string op_desc(std::size_t idx, const TransferOp& op) {
+  std::ostringstream os;
+  os << "op #" << idx << " (piece " << op.piece << ", " << op.src << "->" << op.dst << ")";
+  return os.str();
+}
+
+}  // namespace
+
+OracleResult oracle_run(const topo::TopologyGroups& groups, const Schedule& schedule,
+                        const SimOptions& opts) {
+  if (opts.block_bytes <= 0) throw std::invalid_argument("block_bytes must be positive");
+  if (opts.max_blocks < 1) throw std::invalid_argument("max_blocks must be >= 1");
+
+  for (const Piece& p : schedule.pieces) {
+    if (!p.reduce) continue;
+    if (!std::is_sorted(p.contributors.begin(), p.contributors.end()) ||
+        std::adjacent_find(p.contributors.begin(), p.contributors.end()) !=
+            p.contributors.end()) {
+      throw std::invalid_argument("reduce piece has unsorted or duplicate contributors");
+    }
+  }
+
+  const auto blocks_for = [&](double bytes) {
+    const int nb = static_cast<int>(std::ceil(bytes / std::max(1.0, opts.block_bytes)));
+    return std::clamp(nb, 1, std::max(1, opts.max_blocks));
+  };
+
+  std::map<std::pair<int, int>, RefPiece> state;
+  const auto state_at = [&](int piece, int rank) -> RefPiece& {
+    const auto [it, inserted] = state.try_emplace({piece, rank});
+    if (inserted) {
+      const Piece& p = schedule.pieces[static_cast<std::size_t>(piece)];
+      RefPiece& ps = it->second;
+      const int nb = blocks_for(p.bytes);
+      const bool contributes =
+          p.reduce && std::find(p.contributors.begin(), p.contributors.end(), rank) !=
+                          p.contributors.end();
+      if ((!p.reduce && p.origin == rank) || contributes) {
+        ps.block_arrival.assign(static_cast<std::size_t>(nb), 0.0);
+        ps.present = true;
+        if (contributes) ps.contributors.insert(rank);
+      } else {
+        ps.block_arrival.assign(static_cast<std::size_t>(nb), kInf);
+      }
+    }
+    return it->second;
+  };
+
+  std::map<int, NaiveTimeline> link_busy;
+
+  OracleResult result;
+  result.op_start.assign(schedule.ops.size(), 0.0);
+  result.op_finish.assign(schedule.ops.size(), 0.0);
+
+  // Group ops by phase, original order preserved inside a phase — the same
+  // order a stable phase sort produces.
+  std::map<int, std::vector<std::size_t>> by_phase;
+  for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
+    by_phase[schedule.ops[i].phase].push_back(i);
+  }
+
+  double phase_floor = 0.0;
+  double finished_max = 0.0;
+  for (const auto& [phase, op_ids] : by_phase) {
+    (void)phase;
+    phase_floor = finished_max;
+    for (std::size_t idx : op_ids) {
+      const TransferOp& op = schedule.ops[idx];
+      const Piece& piece = schedule.pieces[static_cast<std::size_t>(op.piece)];
+
+      int dim = op.dim;
+      if (dim < 0) dim = groups.best_common_dim(op.src, op.dst);
+      if (dim < 0 || dim >= groups.num_dims()) {
+        throw std::invalid_argument(op_desc(idx, op) + ": endpoints share no dimension group");
+      }
+      const auto& dim_groups = groups.group_of[static_cast<std::size_t>(dim)];
+      const int g_src = dim_groups[static_cast<std::size_t>(op.src)];
+      if (g_src < 0 || g_src != dim_groups[static_cast<std::size_t>(op.dst)]) {
+        throw std::invalid_argument(op_desc(idx, op) + ": crosses groups in dimension " +
+                                    std::to_string(dim));
+      }
+      const topo::GroupTopology& gt = groups.group(dim, g_src);
+
+      std::vector<topo::PathHop> path;
+      for (const auto& h : gt.up_hops[static_cast<std::size_t>(gt.local_of(op.src))]) {
+        path.push_back(h);
+      }
+      for (const auto& h : gt.down_hops[static_cast<std::size_t>(gt.local_of(op.dst))]) {
+        path.push_back(h);
+      }
+
+      // Snapshot the source at issue time (the production contract).
+      const RefPiece src_snapshot = state_at(op.piece, op.src);
+      if (!src_snapshot.present) {
+        throw std::invalid_argument(op_desc(idx, op) + ": piece not present at source");
+      }
+
+      const int nb = blocks_for(piece.bytes);
+      const double block_bytes = piece.bytes / nb;
+
+      RefPiece& dst = state_at(op.piece, op.dst);
+      if (piece.reduce && dst.forwarded &&
+          !std::includes(dst.contributors.begin(), dst.contributors.end(),
+                         src_snapshot.contributors.begin(), src_snapshot.contributors.end())) {
+        throw std::invalid_argument(op_desc(idx, op) +
+                                    ": stale reduce contribution after forward");
+      }
+
+      double op_first_start = -1.0;
+      double first_block_ready = phase_floor;
+      double finish = 0.0;
+      for (int b = 0; b < nb; ++b) {
+        const double ready =
+            std::max(src_snapshot.block_arrival[static_cast<std::size_t>(b)], phase_floor);
+        if (b == 0) first_block_ready = ready;
+        double head = ready;
+        double tail = ready;
+        for (const topo::PathHop& hop : path) {
+          const double occupy = block_bytes * hop.beta;
+          const double start = link_busy[hop.link_id].allocate(head, occupy);
+          result.events.push_back(
+              OracleEvent{static_cast<int>(idx), b, hop.link_id, start, start + occupy});
+          if (op_first_start < 0) op_first_start = start;
+          head = start + hop.alpha;
+          tail = std::max(start + hop.alpha + occupy, tail + hop.alpha);
+        }
+        const double arrival = tail;
+        double& slot = dst.block_arrival[static_cast<std::size_t>(b)];
+        if (piece.reduce) {
+          slot = dst.present ? std::max(slot, arrival) : arrival;
+        } else {
+          slot = std::min(slot, arrival);
+        }
+        finish = std::max(finish, arrival);
+      }
+
+      result.op_start[idx] = op_first_start >= 0.0 ? op_first_start : first_block_ready;
+      result.op_finish[idx] = finish;
+      finished_max = std::max(finished_max, finish);
+      dst.present = true;
+      if (piece.reduce) {
+        dst.contributors.insert(src_snapshot.contributors.begin(),
+                                src_snapshot.contributors.end());
+        state_at(op.piece, op.src).forwarded = true;
+      }
+    }
+  }
+  result.makespan = finished_max;
+
+  std::stable_sort(result.events.begin(), result.events.end(),
+                   [](const OracleEvent& a, const OracleEvent& b) { return a.start < b.start; });
+
+  for (const auto& [key, ps] : state) {
+    if (!ps.present) continue;
+    OraclePieceState out;
+    out.block_arrival = ps.block_arrival;
+    if (schedule.pieces[static_cast<std::size_t>(key.first)].reduce) {
+      out.contributors = ps.contributors;
+    }
+    result.state.emplace(key, std::move(out));
+  }
+  return result;
+}
+
+namespace {
+
+bool times_close(double a, double b, double rel_tol) {
+  if (a == b) return true;  // covers 0 == 0 and shared infinities
+  const double scale = std::max({1e-12, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= rel_tol * scale;
+}
+
+std::string fmt_pair(const std::pair<int, int>& key) {
+  std::ostringstream os;
+  os << "(piece " << key.first << ", rank " << key.second << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> diff_against_oracle(const SimResult& production,
+                                             const OracleResult& oracle, double rel_tol) {
+  std::vector<std::string> diffs;
+  const auto complain = [&](const std::string& what, double got, double want) {
+    std::ostringstream os;
+    os.precision(17);
+    os << what << ": production " << got << " vs oracle " << want;
+    diffs.push_back(os.str());
+  };
+
+  if (!times_close(production.makespan, oracle.makespan, rel_tol)) {
+    complain("makespan", production.makespan, oracle.makespan);
+  }
+  if (production.op_start.size() != oracle.op_start.size()) {
+    diffs.push_back("op count mismatch");
+    return diffs;
+  }
+  for (std::size_t i = 0; i < production.op_start.size(); ++i) {
+    if (!times_close(production.op_start[i], oracle.op_start[i], rel_tol)) {
+      complain("op #" + std::to_string(i) + " start", production.op_start[i],
+               oracle.op_start[i]);
+    }
+    if (!times_close(production.op_finish[i], oracle.op_finish[i], rel_tol)) {
+      complain("op #" + std::to_string(i) + " finish", production.op_finish[i],
+               oracle.op_finish[i]);
+    }
+  }
+  if (production.num_events != oracle.events.size()) {
+    diffs.push_back("event count: production " + std::to_string(production.num_events) +
+                    " vs oracle " + std::to_string(oracle.events.size()));
+  }
+
+  // Final state: the production run must have recorded it.
+  std::map<std::pair<int, int>, const PieceRankState*> prod_state;
+  for (const auto& st : production.final_state) {
+    prod_state.emplace(std::make_pair(st.piece, st.rank), &st);
+  }
+  if (prod_state.size() != oracle.state.size()) {
+    diffs.push_back("present (piece, rank) count: production " +
+                    std::to_string(prod_state.size()) + " vs oracle " +
+                    std::to_string(oracle.state.size()));
+  }
+  for (const auto& [key, want] : oracle.state) {
+    const auto it = prod_state.find(key);
+    if (it == prod_state.end()) {
+      diffs.push_back(fmt_pair(key) + " present in oracle only");
+      continue;
+    }
+    const PieceRankState& got = *it->second;
+    const std::set<int> got_contrib(got.contributors.begin(), got.contributors.end());
+    if (got_contrib != want.contributors) {
+      diffs.push_back(fmt_pair(key) + " contributor sets differ");
+    }
+    if (got.block_arrival.size() != want.block_arrival.size()) {
+      diffs.push_back(fmt_pair(key) + " block count differs");
+      continue;
+    }
+    for (std::size_t b = 0; b < got.block_arrival.size(); ++b) {
+      if (!times_close(got.block_arrival[b], want.block_arrival[b], rel_tol)) {
+        complain(fmt_pair(key) + " block " + std::to_string(b) + " arrival",
+                 got.block_arrival[b], want.block_arrival[b]);
+      }
+    }
+  }
+  for (const auto& [key, ptr] : prod_state) {
+    (void)ptr;
+    if (oracle.state.find(key) == oracle.state.end()) {
+      diffs.push_back(fmt_pair(key) + " present in production only");
+    }
+  }
+  return diffs;
+}
+
+}  // namespace syccl::sim

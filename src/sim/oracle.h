@@ -1,0 +1,79 @@
+// Independent reference simulator for differential correctness checking.
+//
+// The production simulator (sim/simulator.h) is both the ranking function
+// for candidate sketches and the repo's substitute for real execution, so a
+// silent bug in it corrupts every reported result. This oracle recomputes
+// makespan, per-op start/finish times and the final per-(piece, rank) state
+// for any Schedule using deliberately naive machinery, sharing *no code*
+// with the production engine:
+//
+//   * a global chronological event list — every (block, hop) link crossing
+//     is materialised as an explicit OracleEvent instead of being folded
+//     into incremental head/tail accumulators;
+//   * exact per-link FIFO serialisation over plain sorted interval lists —
+//     no interval merging, no epsilon compaction, no gap heuristics;
+//   * explicit reduce bookkeeping with std::set<int> contributor sets and
+//     per-rank forwarded flags.
+//
+// Both engines implement the same α–β cut-through contract (that contract
+// *is* the model under test), so on a correct implementation they agree to
+// floating-point rounding: makespans and op times within a relative 1e-9,
+// presence and contributor sets exactly. Any larger divergence is a bug in
+// one of the two engines. The fuzz harness (fuzz/differential.h) drives
+// both over randomized topologies/collectives/schedules.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/schedule.h"
+#include "sim/simulator.h"
+#include "topo/groups.h"
+
+namespace syccl::sim {
+
+/// One block crossing one directed physical link.
+struct OracleEvent {
+  int op = -1;
+  int block = -1;
+  int link = -1;
+  double start = 0.0;  ///< wire claimed
+  double end = 0.0;    ///< wire released (start + β·bytes)
+};
+
+/// Final availability of one piece at one rank.
+struct OraclePieceState {
+  std::vector<double> block_arrival;
+  std::set<int> contributors;  ///< reduce pieces only
+};
+
+struct OracleResult {
+  double makespan = 0.0;
+  std::vector<double> op_start;   ///< indexed like Schedule::ops
+  std::vector<double> op_finish;  ///< indexed like Schedule::ops
+  /// Final state of every (piece, rank) pair where the piece became present.
+  std::map<std::pair<int, int>, OraclePieceState> state;
+  /// All link crossings, sorted chronologically by start time.
+  std::vector<OracleEvent> events;
+};
+
+/// Runs the reference simulation. Throws std::invalid_argument on the same
+/// malformed-schedule conditions as Simulator::run (missing source piece,
+/// cross-group ops, stale reduce contributions) plus structurally invalid
+/// reduce pieces (unsorted/duplicate contributor lists, which the production
+/// engine's binary_search would silently mishandle).
+OracleResult oracle_run(const topo::TopologyGroups& groups, const Schedule& schedule,
+                        const SimOptions& opts = {});
+
+/// Compares a production result (run with record_final_state=true) against
+/// the oracle. Returns human-readable divergence descriptions; empty means
+/// the engines agree. Times compare within `rel_tol` (relative, with the
+/// same absolute floor); presence and contributor sets compare exactly.
+std::vector<std::string> diff_against_oracle(const SimResult& production,
+                                             const OracleResult& oracle,
+                                             double rel_tol = 1e-9);
+
+}  // namespace syccl::sim

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <unordered_map>
+
+#include "sim/link_timeline.h"
 
 namespace syccl::sim {
 
@@ -27,6 +30,23 @@ class RankSet {
     }
     return true;
   }
+  bool contains(const RankSet& o) const {
+    for (std::size_t i = 0; i < o.words_.size(); ++i) {
+      if (i >= words_.size()) {
+        if (o.words_[i] != 0) return false;
+        continue;
+      }
+      if ((o.words_[i] & ~words_[i]) != 0) return false;
+    }
+    return true;
+  }
+  std::vector<int> to_sorted_vector(int num_ranks) const {
+    std::vector<int> out;
+    for (int r = 0; r < num_ranks; ++r) {
+      if (test(r)) out.push_back(r);
+    }
+    return out;
+  }
 
  private:
   std::vector<std::uint64_t> words_;
@@ -36,6 +56,10 @@ struct PieceState {
   std::vector<double> block_arrival;  ///< per-block availability time
   RankSet contributors;               ///< reduce pieces only
   bool present = false;
+  /// Set once this rank forwarded its partial (reduce pieces only). A
+  /// contribution merged in afterwards would never reach downstream ranks
+  /// through the already-sent copy — the schedule is racy, reject it.
+  bool forwarded = false;
 };
 
 using StateKey = std::uint64_t;
@@ -45,54 +69,9 @@ StateKey key_of(int piece, int rank) {
          static_cast<std::uint32_t>(rank);
 }
 
-// Link busy-state is keyed by the directed physical link id, shared across
-// dimensions: a rail (dim 1) and a spine (dim 2) transfer from the same GPU
-// contend for the same NIC uplink.
-
-/// Busy intervals of one directed link, with earliest-gap allocation: a
-/// transfer that becomes ready while the link is idle may claim the gap even
-/// if an earlier-issued transfer is still waiting for its data — links
-/// arbitrate per packet, they do not head-of-line block on program order.
-class LinkTimeline {
- public:
-  /// Allocates `dur` seconds starting no earlier than `ready`; returns the
-  /// start time.
-  double allocate(double ready, double dur) {
-    if (dur <= 0) return ready;
-    double t = ready;
-    // First interval that ends after t (candidates for conflict).
-    auto it = intervals_.upper_bound(t);
-    if (it != intervals_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second > t) t = prev->second;
-    }
-    while (it != intervals_.end() && it->first < t + dur) {
-      t = std::max(t, it->second);
-      ++it;
-    }
-    // Insert [t, t+dur), merging with touching neighbours.
-    double lo = t;
-    double hi = t + dur;
-    auto next = intervals_.lower_bound(lo);
-    if (next != intervals_.begin()) {
-      auto prev = std::prev(next);
-      if (prev->second >= lo - 1e-18) {
-        lo = prev->first;
-        hi = std::max(hi, prev->second);
-        next = intervals_.erase(prev);
-      }
-    }
-    while (next != intervals_.end() && next->first <= hi + 1e-18) {
-      hi = std::max(hi, next->second);
-      next = intervals_.erase(next);
-    }
-    intervals_.emplace(lo, hi);
-    return t;
-  }
-
- private:
-  std::map<double, double> intervals_;
-};
+// Link busy-state (sim/link_timeline.h) is keyed by the directed physical
+// link id, shared across dimensions: a rail (dim 1) and a spine (dim 2)
+// transfer from the same GPU contend for the same NIC uplink.
 
 struct Engine {
   const topo::TopologyGroups& groups;
@@ -166,6 +145,26 @@ struct Engine {
       result.op_finish[idx] = finish;
       result.makespan = std::max(result.makespan, finish);
     }
+
+    if (opts.record_final_state) record_final_state();
+  }
+
+  void record_final_state() {
+    for (const auto& [key, ps] : state) {
+      if (!ps.present) continue;
+      PieceRankState out;
+      out.piece = static_cast<int>(key >> 32);
+      out.rank = static_cast<int>(key & 0xFFFFFFFFu);
+      out.block_arrival = ps.block_arrival;
+      if (schedule.pieces[static_cast<std::size_t>(out.piece)].reduce) {
+        out.contributors = ps.contributors.to_sorted_vector(num_ranks);
+      }
+      result.final_state.push_back(std::move(out));
+    }
+    std::sort(result.final_state.begin(), result.final_state.end(),
+              [](const PieceRankState& a, const PieceRankState& b) {
+                return std::tie(a.piece, a.rank) < std::tie(b.piece, b.rank);
+              });
   }
 
   double run_op(std::size_t idx, double phase_floor) {
@@ -206,13 +205,25 @@ struct Engine {
     const double block_bytes = p.bytes / nb;
 
     PieceState& dst_state = state_at(op.piece, op.dst);
+    if (p.reduce && dst_state.forwarded && !dst_state.contributors.contains(src_contrib)) {
+      // The destination already forwarded its partial; merging a new
+      // contribution now means the copy in flight is stale — downstream
+      // ranks would see a contributor set that silently grew after the
+      // send. Reject, like the src-absent case, instead of leaving the
+      // divergence for the final-destination demand check to maybe catch.
+      throw std::invalid_argument("stale reduce contribution: piece " + std::to_string(op.piece) +
+                                  " gains contributors at rank " + std::to_string(op.dst) +
+                                  " after that rank forwarded its partial");
+    }
     double finish = 0.0;
     double first_start = -1.0;
+    double first_ready = phase_floor;
     for (int b = 0; b < nb; ++b) {
       // Cut-through per hop: the block's head advances after each hop's α,
       // its tail after the slowest upstream hop drains; each directed link
       // is occupied for β·b and serialises concurrent flows.
       const double ready = std::max(src_arrival[static_cast<std::size_t>(b)], phase_floor);
+      if (b == 0) first_ready = ready;
       double head = ready;
       double tail = ready;
       for (const topo::PathHop* hop : path) {
@@ -235,10 +246,17 @@ struct Engine {
       }
       finish = std::max(finish, arrival);
     }
-    result.op_start[static_cast<std::size_t>(idx)] = std::max(0.0, first_start);
+    // An op whose blocks never claimed a link slot (zero-hop path) leaves
+    // first_start unset; fall back to the first block's ready time instead
+    // of reporting a bogus 0.0 that would corrupt tune_issue_order's
+    // start-time sort.
+    result.op_start[static_cast<std::size_t>(idx)] = first_start >= 0.0 ? first_start : first_ready;
     dst_state.present = true;
     if (p.reduce) {
       dst_state.contributors.merge(src_contrib);
+      // Re-look up the source: the dst insertion above may have rehashed
+      // the map and invalidated src_state.
+      state.find(key_of(op.piece, op.src))->second.forwarded = true;
     }
     return finish;
   }

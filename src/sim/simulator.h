@@ -28,6 +28,22 @@ struct SimOptions {
   /// blocks, capped at max_blocks.
   double block_bytes = 1 << 20;
   int max_blocks = 16;
+  /// Record the final per-(piece, rank) state in SimResult::final_state.
+  /// Off by default: candidate ranking runs millions of simulations and
+  /// never looks at the state; the differential harness (sim/oracle.h)
+  /// turns it on to compare against the reference simulator.
+  bool record_final_state = false;
+};
+
+/// Final availability of one piece at one rank (record_final_state only;
+/// ranks where the piece never became present are omitted).
+struct PieceRankState {
+  int piece = -1;
+  int rank = -1;
+  /// Per-block arrival times.
+  std::vector<double> block_arrival;
+  /// Merged contributor ranks, ascending (reduce pieces only).
+  std::vector<int> contributors;
 };
 
 struct SimResult {
@@ -39,6 +55,8 @@ struct SimResult {
   std::vector<double> op_finish;
   /// Total number of simulated block events.
   std::size_t num_events = 0;
+  /// Present (piece, rank) pairs, sorted, when record_final_state is set.
+  std::vector<PieceRankState> final_state;
 };
 
 /// Immutable after construction: run/time_collective/tune_issue_order are
@@ -51,7 +69,8 @@ class Simulator {
 
   /// Simulates a schedule and returns the timing result. Throws
   /// std::invalid_argument on malformed schedules (unknown dims, piece not
-  /// present at an op's source, cross-group transfers).
+  /// present at an op's source, cross-group transfers, reduce contributions
+  /// delivered to a rank after it already forwarded its partial).
   SimResult run(const Schedule& schedule) const;
 
   /// Simulates and additionally verifies that every demand of `coll` is

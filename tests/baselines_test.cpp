@@ -136,6 +136,26 @@ TEST(Crafted, ImprovedRequiresRails) {
   EXPECT_EQ(crafted_allgather_suite(ag, groups, true).size(), 3u);
 }
 
+TEST(Crafted, ImprovedRequiresRailsOnClos) {
+  // Regression (fuzz corpus seed 380): on a 4-server Clos, dimension 1 is
+  // the leaf tier — each group spans only the servers under one leaf, not
+  // one GPU per server. The improved hierarchical schedule used to pass the
+  // suite's gate here and emit src=-1 ops (stage 2 finds no rail holder on
+  // servers under the other leaf).
+  topo::ClosSpec spec;
+  spec.num_servers = 4;
+  spec.gpus_per_server = 4;
+  spec.nics_per_server = 1;
+  const auto groups = topo::extract_groups(topo::build_clos(spec));
+  const auto ag = coll::make_allgather(16, 1 << 20);
+  EXPECT_THROW(crafted_improved_hierarchical_allgather(ag, groups), std::invalid_argument);
+  const auto suite = crafted_allgather_suite(ag, groups, true);
+  EXPECT_EQ(suite.size(), 3u);
+  for (const auto& s : suite) {
+    EXPECT_TRUE(runtime::validate_schedule(s, ag, groups).ok) << s.name;
+  }
+}
+
 TEST(Teccl, SynthesizesValidAllGather) {
   H800Fixture f;
   const auto ag = coll::make_allgather(16, 4 << 20);

@@ -1,0 +1,205 @@
+// Differential tests: the production simulator against the independent
+// reference oracle (sim/oracle.h), plus regression tests for the op_start
+// fallback and stale-reduce detection bugs the harness was built to catch.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "coll/collective.h"
+#include "fuzz/differential.h"
+#include "fuzz/generators.h"
+#include "sim/oracle.h"
+#include "sim/schedule.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+#include "topo/groups.h"
+
+namespace syccl::sim {
+namespace {
+
+topo::Topology easy_server(int n) {
+  return topo::build_single_server(n, topo::LinkParams{1e-6, 1e9});
+}
+
+/// Runs both simulators and requires bit-level structural agreement and
+/// 1e-9-relative timing agreement.
+void expect_agreement(const topo::TopologyGroups& g, const Schedule& s, SimOptions opts) {
+  opts.record_final_state = true;
+  const Simulator sim(g, opts);
+  const SimResult prod = sim.run(s);
+  const OracleResult ref = oracle_run(g, s, opts);
+  const auto diffs = diff_against_oracle(prod, ref, 1e-9);
+  EXPECT_TRUE(diffs.empty()) << "first divergence: " << (diffs.empty() ? "" : diffs.front());
+}
+
+TEST(Differential, AgreesOnRelayChain) {
+  const auto g = topo::extract_groups(easy_server(3));
+  Schedule s;
+  const int p = s.add_piece(Piece{0, 1000.0, 0, false, {}});
+  s.add_op(p, 0, 1);
+  s.add_op(p, 1, 2);
+  SimOptions opts;
+  opts.max_blocks = 1;
+  expect_agreement(g, s, opts);
+}
+
+TEST(Differential, AgreesOnPipelinedFanout) {
+  const auto g = topo::extract_groups(easy_server(4));
+  Schedule s;
+  const int p = s.add_piece(Piece{0, 4000.0, 0, false, {}});
+  s.add_op(p, 0, 1);
+  s.add_op(p, 0, 2);
+  s.add_op(p, 1, 3);
+  SimOptions opts;
+  opts.block_bytes = 1000.0;  // 4 pipeline blocks
+  opts.max_blocks = 8;
+  expect_agreement(g, s, opts);
+}
+
+TEST(Differential, AgreesAcrossPhaseBarriers) {
+  const auto g = topo::extract_groups(easy_server(3));
+  Schedule s;
+  const int a = s.add_piece(Piece{0, 1000.0, 0, false, {}});
+  const int b = s.add_piece(Piece{1, 2000.0, 2, false, {}});
+  s.add_op(a, 0, 1, -1, 0);
+  s.add_op(b, 2, 0, -1, 1);  // must wait for phase 0 to drain
+  s.add_op(a, 1, 2, -1, 1);
+  SimOptions opts;
+  opts.max_blocks = 2;
+  opts.block_bytes = 1000.0;
+  expect_agreement(g, s, opts);
+}
+
+TEST(Differential, AgreesOnReduceInTree) {
+  const auto g = topo::extract_groups(easy_server(4));
+  Schedule s;
+  const int p = s.add_piece(Piece{0, 1000.0, -1, true, {0, 1, 2, 3}});
+  s.add_op(p, 3, 2);
+  s.add_op(p, 2, 1);
+  s.add_op(p, 1, 0);
+  SimOptions opts;
+  opts.max_blocks = 1;
+  expect_agreement(g, s, opts);
+
+  // And the merged contributor set at the root is complete.
+  opts.record_final_state = true;
+  const SimResult r = Simulator(g, opts).run(s);
+  bool found = false;
+  for (const auto& st : r.final_state) {
+    if (st.piece == p && st.rank == 0) {
+      found = true;
+      EXPECT_EQ(st.contributors, (std::vector<int>{0, 1, 2, 3}));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Differential, AgreesOnMultiRailTopology) {
+  topo::MultiRailSpec spec;
+  spec.num_servers = 2;
+  spec.gpus_per_server = 2;
+  spec.with_spine = true;
+  const auto g = topo::extract_groups(topo::build_multi_rail(spec));
+  const auto coll = coll::make_allgather(4, 8192);
+  util::Rng rng(7);
+  const Schedule s = fuzz::random_direct_schedule(coll, g, rng);
+  SimOptions opts;
+  opts.block_bytes = 2048.0;
+  opts.max_blocks = 4;
+  expect_agreement(g, s, opts);
+}
+
+TEST(DifferentialFuzz, SmokeCasesAreClean) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    fuzz::CaseOptions opt;
+    opt.mutants = 1;
+    const fuzz::CaseResult r = fuzz::run_differential_case(seed, opt);
+    EXPECT_TRUE(r.failures.empty())
+        << "seed " << seed << " (" << r.desc << "): " << r.failures.front();
+    EXPECT_GT(r.schedules_checked, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: op_start of a zero-hop op (satellite of the differential
+// harness). A hand-built group with empty up/down hop lists is the only way
+// to reach the fallback: extract_groups never produces empty paths.
+
+topo::GroupTopology make_group(int dim, std::vector<int> ranks, bool with_hops, int link_base) {
+  topo::GroupTopology gt;
+  gt.dim = dim;
+  gt.group_index = 0;
+  gt.ranks = std::move(ranks);
+  const std::size_t n = gt.ranks.size();
+  gt.up.assign(n, topo::GroupPort{1e-6, 1e-9, link_base});
+  gt.down.assign(n, topo::GroupPort{1e-6, 1e-9, link_base + 1});
+  gt.up_hops.assign(n, {});
+  gt.down_hops.assign(n, {});
+  if (with_hops) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const int id = link_base + 2 * static_cast<int>(i);
+      gt.up_hops[i] = {topo::PathHop{id, 1e-6, 1e-9}};
+      gt.down_hops[i] = {topo::PathHop{id + 1, 1e-6, 1e-9}};
+    }
+  }
+  return gt;
+}
+
+TEST(SimulatorRegression, ZeroHopOpStartFallsBackToReadyTime) {
+  // Dim 0 carries a real transfer; dim 1 is a degenerate zero-hop group.
+  topo::TopologyGroups g;
+  g.dims.resize(2);
+  g.dims[0].groups.push_back(make_group(0, {0, 1}, /*with_hops=*/true, 0));
+  g.dims[1].groups.push_back(make_group(1, {0, 1}, /*with_hops=*/false, 100));
+  g.group_of = {{0, 0}, {0, 0}};
+
+  Schedule s;
+  const int a = s.add_piece(Piece{0, 1000.0, 0, false, {}});
+  s.add_op(a, 0, 1, /*dim=*/0, /*phase=*/0);  // takes real time
+  const int b = s.add_piece(Piece{1, 1000.0, 0, false, {}});
+  s.add_op(b, 0, 1, /*dim=*/1, /*phase=*/1);  // zero-hop, gated by the barrier
+
+  SimOptions opts;
+  opts.max_blocks = 1;
+  const SimResult r = Simulator(g, opts).run(s);
+  ASSERT_GT(r.op_finish[0], 0.0);
+  // The zero-hop op allocates no link slot; its start used to be reported as
+  // 0.0. It must be the time its first block became ready — here the phase
+  // barrier, i.e. the finish of op 0.
+  EXPECT_DOUBLE_EQ(r.op_start[1], r.op_finish[0]);
+  expect_agreement(g, s, opts);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: a reduce contribution delivered to a rank after that rank has
+// already forwarded its partial is silently lost (the forwarded copy can
+// never include it). The simulator used to mistime this; it must throw, as
+// it does for absent sources.
+
+TEST(SimulatorRegression, StaleReduceContributionThrows) {
+  const auto g = topo::extract_groups(easy_server(3));
+  const Simulator sim(g, SimOptions{});
+  Schedule s;
+  const int p = s.add_piece(Piece{0, 1000.0, -1, true, {0, 1, 2}});
+  s.add_op(p, 1, 0);  // rank 1 forwards its partial {1}
+  s.add_op(p, 2, 1);  // grows rank 1's set after the forward: stale
+  EXPECT_THROW(sim.run(s), std::invalid_argument);
+  EXPECT_THROW(oracle_run(g, s, SimOptions{}), std::invalid_argument);
+}
+
+TEST(SimulatorRegression, RedeliveryWithoutGrowthIsAllowed) {
+  const auto g = topo::extract_groups(easy_server(3));
+  Schedule s;
+  const int p = s.add_piece(Piece{0, 1000.0, -1, true, {0, 1, 2}});
+  s.add_op(p, 2, 1);  // rank 1 holds {1,2}
+  s.add_op(p, 1, 0);  // root holds {0,1,2}; rank 1 has forwarded
+  s.add_op(p, 2, 1);  // redundant but not stale: {2} adds nothing
+  SimOptions opts;
+  opts.max_blocks = 1;
+  EXPECT_NO_THROW(Simulator(g, opts).run(s));
+  expect_agreement(g, s, opts);
+}
+
+}  // namespace
+}  // namespace syccl::sim

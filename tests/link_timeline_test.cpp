@@ -1,0 +1,83 @@
+// Unit tests for the per-link busy-interval timeline: allocation policy and
+// interval compaction. Fragmentation is invisible end-to-end (it changes
+// asymptotics, not results), so the merge behaviour is pinned here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/link_timeline.h"
+
+namespace syccl::sim {
+namespace {
+
+TEST(LinkTimeline, AllocatesAtReadyWhenIdle) {
+  LinkTimeline tl;
+  EXPECT_DOUBLE_EQ(tl.allocate(5.0, 2.0), 5.0);
+  EXPECT_EQ(tl.num_intervals(), 1u);
+}
+
+TEST(LinkTimeline, ZeroDurationClaimsNoSlot) {
+  LinkTimeline tl;
+  EXPECT_DOUBLE_EQ(tl.allocate(1.0, 0.0), 1.0);
+  EXPECT_EQ(tl.num_intervals(), 0u);
+}
+
+TEST(LinkTimeline, SerializesConflictingTransfers) {
+  LinkTimeline tl;
+  EXPECT_DOUBLE_EQ(tl.allocate(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(tl.allocate(1.0, 2.0), 2.0);  // pushed past the first
+  EXPECT_EQ(tl.num_intervals(), 1u);             // exact touch: compacted
+}
+
+TEST(LinkTimeline, FillsEarliestSufficientGap) {
+  LinkTimeline tl;
+  tl.allocate(0.0, 1.0);  // [0, 1)
+  tl.allocate(5.0, 1.0);  // [5, 6)
+  // A 2-wide request ready at 0 fits the [1, 5) gap.
+  EXPECT_DOUBLE_EQ(tl.allocate(0.0, 2.0), 1.0);
+  // A 3-wide request no longer fits before 5: goes after [5, 6).
+  EXPECT_DOUBLE_EQ(tl.allocate(0.0, 3.0), 6.0);
+}
+
+// Regression: the merge tolerance used to be an absolute 1e-18, which is
+// below one ulp of any time ≥ ~4.5e-3 s. Back-to-back transfers whose ready
+// times carry rounding-level gaps (1 ulp apart at second scale) therefore
+// never merged, and a saturated link fragmented into one interval per
+// transfer — O(n²) allocation on long schedules. The tolerance is now
+// relative (a few ulps of the endpoints), so the timeline must stay at one
+// interval.
+TEST(LinkTimeline, MergesUlpGapsAtSecondScale) {
+  LinkTimeline tl;
+  double end = tl.allocate(0.0, 1.0) + 1.0;
+  ASSERT_EQ(tl.num_intervals(), 1u);
+  for (int i = 0; i < 200; ++i) {
+    // Ready one ulp after the previous end — exactly the gap that float
+    // arithmetic on arrival times produces.
+    const double ready = std::nextafter(end, 1e300);
+    const double start = tl.allocate(ready, 1.0);
+    EXPECT_DOUBLE_EQ(start, ready);
+    end = start + 1.0;
+    ASSERT_EQ(tl.num_intervals(), 1u) << "fragmented at transfer " << i;
+  }
+}
+
+TEST(LinkTimeline, DoesNotMergeRealGaps) {
+  LinkTimeline tl;
+  tl.allocate(0.0, 1.0);     // [0, 1)
+  tl.allocate(1.0001, 1.0);  // a genuine 100 µs idle gap must survive
+  EXPECT_EQ(tl.num_intervals(), 2u);
+  // ... because a later transfer may still claim it.
+  EXPECT_DOUBLE_EQ(tl.allocate(0.0, 0.0001), 1.0);
+}
+
+TEST(LinkTimeline, MergeKeepsTinyAbsoluteFloorNearZero) {
+  LinkTimeline tl;
+  // Near t = 0 the relative tolerance vanishes; the absolute floor still
+  // merges mathematically-touching intervals.
+  tl.allocate(0.0, 1e-9);
+  tl.allocate(1e-9, 1e-9);
+  EXPECT_EQ(tl.num_intervals(), 1u);
+}
+
+}  // namespace
+}  // namespace syccl::sim

@@ -102,6 +102,68 @@ TEST(Validate, FlagsBadEndpointsAndPieces) {
   EXPECT_GE(rep.errors.size(), 3u);
 }
 
+TEST(Validate, ReduceContributorOutOfRange) {
+  Fixture f;
+  const auto red = coll::make_reduce(4, 4096, 0);
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(red);
+  s.pieces[0].contributors = {0, 1, 2, 99};  // rank 99 does not exist
+  const auto rep = validate_schedule(s, red, f.groups);
+  EXPECT_FALSE(rep.ok);
+  bool flagged = false;
+  for (const auto& e : rep.errors) {
+    if (e.find("contributor rank out of range") != std::string::npos) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(Validate, ReduceIncompleteContributorCoverage) {
+  Fixture f;
+  const auto red = coll::make_reduce(4, 4096, 0);
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(red);
+  // Rank 0 receives partials from 1 and 2 directly, but rank 3's partial is
+  // parked at rank 2 *after* 2 already forwarded — it never reaches rank 0.
+  s.add_op(0, 1, 0);
+  s.add_op(0, 2, 0);
+  s.add_op(0, 3, 2);
+  const auto rep = validate_schedule(s, red, f.groups);
+  EXPECT_FALSE(rep.ok);
+  bool unmet = false;
+  for (const auto& e : rep.errors) {
+    if (e.find("reduce demand unmet at rank 0") != std::string::npos) unmet = true;
+  }
+  EXPECT_TRUE(unmet);
+}
+
+TEST(Validate, WarnsOnRedundantReduceDelivery) {
+  Fixture f;
+  const auto red = coll::make_reduce(4, 4096, 0);
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(red);
+  s.add_op(0, 3, 2);  // 2 holds {2,3}
+  s.add_op(0, 2, 1);  // 1 holds {1,2,3}
+  s.add_op(0, 3, 1);  // {3} adds nothing to {1,2,3}: wasted + double-count risk
+  s.add_op(0, 1, 0);  // 0 holds all
+  const auto rep = validate_schedule(s, red, f.groups);
+  EXPECT_TRUE(rep.ok);  // demands met; waste is a warning
+  ASSERT_EQ(rep.warnings.size(), 1u);
+  EXPECT_NE(rep.warnings[0].find("no new contributors"), std::string::npos);
+}
+
+TEST(Validate, FreshReduceDeliveryDoesNotWarn) {
+  Fixture f;
+  const auto red = coll::make_reduce(4, 4096, 0);
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(red);
+  s.add_op(0, 3, 2);  // each delivery grows the destination's set
+  s.add_op(0, 2, 1);
+  s.add_op(0, 1, 0);
+  const auto rep = validate_schedule(s, red, f.groups);
+  EXPECT_TRUE(rep.ok);
+  EXPECT_TRUE(rep.warnings.empty());
+}
+
 TEST(Validate, SplitPiecesCoverDemand) {
   Fixture f;
   const auto bc = coll::make_broadcast(2, 4096, 0);

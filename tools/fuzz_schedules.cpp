@@ -1,0 +1,159 @@
+// Differential schedule fuzzer (see fuzz/differential.h).
+//
+//   fuzz_schedules --cases 500 --seed 1              sweep 500 seeded cases
+//   fuzz_schedules --replay 0xDEADBEEF               re-run one case, verbose
+//   fuzz_schedules --corpus tests/corpus/seeds.txt   replay a pinned corpus
+//   fuzz_schedules --synth-every 4                   synthesizer on every 4th case
+//
+// Exit code 0 iff every case passed. On failure, the offending seed is
+// printed in a form directly usable with --replay; pin it in
+// tests/corpus/seeds.txt once the bug is fixed.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.h"
+
+namespace {
+
+struct Args {
+  std::uint64_t cases = 100;
+  std::uint64_t seed = 1;  ///< base seed; case i uses seed + i
+  std::vector<std::uint64_t> replay;
+  std::string corpus;
+  int synth_every = 0;  ///< 0 = never run the synthesizer
+  int mutants = 2;
+  bool verbose = false;
+};
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::stoull(s, nullptr, 0);  // accepts decimal and 0x...
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--cases") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.cases = parse_u64(v);
+    } else if (a == "--seed") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.seed = parse_u64(v);
+    } else if (a == "--replay") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.replay.push_back(parse_u64(v));
+      args.verbose = true;
+    } else if (a == "--corpus") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.corpus = v;
+    } else if (a == "--synth-every") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.synth_every = static_cast<int>(parse_u64(v));
+    } else if (a == "--mutants") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.mutants = static_cast<int>(parse_u64(v));
+    } else if (a == "--verbose") {
+      args.verbose = true;
+    } else {
+      std::cerr << "unknown argument: " << a << "\n"
+                << "usage: fuzz_schedules [--cases N] [--seed S] [--synth-every K] "
+                   "[--mutants M] [--replay SEED] [--corpus FILE] [--verbose]\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Corpus format: one seed per line (decimal or 0x...), '#' comments.
+std::vector<std::uint64_t> load_corpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open corpus file: " << path << "\n";
+    std::exit(2);
+  }
+  std::vector<std::uint64_t> seeds;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string token;
+    if (ls >> token) seeds.push_back(parse_u64(token));
+  }
+  return seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return 2;
+
+  struct Job {
+    std::uint64_t seed;
+    bool with_synth;
+    const char* origin;
+  };
+  std::vector<Job> jobs;
+  for (const std::uint64_t s : args.replay) jobs.push_back({s, false, "replay"});
+  if (!args.corpus.empty()) {
+    for (const std::uint64_t s : load_corpus(args.corpus)) jobs.push_back({s, false, "corpus"});
+  }
+  if (args.replay.empty()) {
+    for (std::uint64_t i = 0; i < args.cases; ++i) {
+      const bool synth = args.synth_every > 0 && i % static_cast<std::uint64_t>(args.synth_every) == 0;
+      jobs.push_back({args.seed + i, synth, "sweep"});
+    }
+  }
+
+  std::uint64_t failed_cases = 0;
+  std::uint64_t schedules = 0;
+  std::uint64_t events = 0;
+  for (const Job& job : jobs) {
+    syccl::fuzz::CaseOptions opts;
+    opts.with_synthesizer = job.with_synth;
+    opts.mutants = args.mutants;
+    syccl::fuzz::CaseResult r;
+    try {
+      r = syccl::fuzz::run_differential_case(job.seed, opts);
+    } catch (const std::exception& e) {
+      std::cerr << "FAIL seed " << job.seed << " (" << job.origin
+                << "): harness exception: " << e.what() << "\n";
+      ++failed_cases;
+      continue;
+    }
+    schedules += static_cast<std::uint64_t>(r.schedules_checked);
+    events += r.sim_events;
+    if (!r.failures.empty()) {
+      ++failed_cases;
+      std::cerr << "FAIL seed " << job.seed << " (" << job.origin << "): " << r.desc << "\n";
+      for (const auto& f : r.failures) std::cerr << "  " << f << "\n";
+      std::cerr << "  replay with: fuzz_schedules --replay " << job.seed << "\n";
+    } else if (args.verbose) {
+      std::cout << "ok seed " << job.seed << ": " << r.desc << " (" << r.schedules_checked
+                << " schedules, " << r.sim_events << " events)\n";
+    }
+  }
+
+  std::cout << "fuzz_schedules: " << jobs.size() << " cases, " << schedules << " schedules, "
+            << events << " simulated events, " << failed_cases << " failures\n";
+  return failed_cases == 0 ? 0 : 1;
+}
