@@ -254,12 +254,7 @@ int main() {
   char tail[128];
   std::snprintf(tail, sizeof(tail), "],\"median_ratio\":%.2f}", med);
   json += tail;
-  std::printf("%s\n", json.c_str());
-
-  if (std::FILE* f = std::fopen("BENCH_milp.json", "w")) {
-    std::fprintf(f, "%s\n", json.c_str());
-    std::fclose(f);
-  }
+  benchutil::emit_json("milp", json);
 
   if (mismatches > 0) {
     std::fprintf(stderr, "FAIL: %d warm/cold status mismatches\n", mismatches);

@@ -64,4 +64,19 @@ inline void header(const char* title) {
   std::printf("\n================ %s ================\n", title);
 }
 
+/// Echoes a bench's JSON result line to stdout and to `BENCH_<name>.json` in
+/// the working directory (the perf-trajectory artefact; gitignored). A
+/// failure to open the file only warns: the stdout line is the primary
+/// record, the file a convenience for diffing across runs.
+inline void emit_json(const char* name, const std::string& json) {
+  std::printf("%s\n", json.c_str());
+  const std::string path = std::string("BENCH_") + name + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  }
+}
+
 }  // namespace benchutil

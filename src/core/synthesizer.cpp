@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "coll/decompose.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/solve_cache.h"
 #include "core/merge.h"
 #include "core/subdemand.h"
@@ -59,6 +61,7 @@ Synthesizer::Synthesizer(const topo::Topology& topo, SynthesisConfig config)
       pool_(static_cast<std::size_t>(std::max(0, config_.num_threads))) {}
 
 SynthesisResult Synthesizer::synthesize(const coll::Collective& coll) {
+  SYCCL_TRACE_SPAN(span, "synthesize", "core");
   using coll::CollKind;
   switch (coll.kind()) {
     case CollKind::SendRecv:
@@ -151,33 +154,46 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
                                                 const coll::Collective& eval_coll,
                                                 bool all_to_all, int root,
                                                 sketch::RootedPattern pattern, bool reverse) {
+  SYCCL_TRACE_SPAN(synth_span, "synthesize_pattern", "core");
   util::Stopwatch total_clock;
   SynthesisBreakdown breakdown;
   util::Stopwatch phase_clock;
 
   // ---- Phase 1a: sketch search (§4.1).
-  const auto sketches = sketch::search_sketches(groups_, root, pattern, config_.sketch.search);
-  const auto prototypes =
-      sketch::select_prototypes(sketches, groups_, config_.sketch.max_prototypes);
+  std::vector<sketch::Sketch> sketches;
+  std::vector<sketch::Sketch> prototypes;
+  {
+    SYCCL_TRACE_SPAN(span, "sketch_search", "core");
+    sketches = sketch::search_sketches(groups_, root, pattern, config_.sketch.search);
+    span.annotate("sketches", static_cast<double>(sketches.size()));
+    prototypes =
+        sketch::select_prototypes(std::move(sketches), groups_, config_.sketch.max_prototypes);
+    span.annotate("prototypes", static_cast<double>(prototypes.size()));
+  }
   breakdown.search_s = phase_clock.elapsed_seconds();
 
   // ---- Phase 1b: replication + cross-dimension combination (§4.2/§4.3).
   phase_clock.reset();
-  std::vector<sketch::SketchCombination> balanced;
-  for (const auto& s : prototypes) {
-    try {
-      sketch::SketchCombination combo = sketch::balance_across_groups(s, groups_);
-      if (all_to_all) combo = sketch::replicate_for_all_roots(combo, groups_);
-      balanced.push_back(std::move(combo));
-    } catch (const std::runtime_error& e) {
-      // Some sketch families cannot be replicated consistently onto every
-      // root (their mapping corners itself); drop the family.
-      SYCCL_DEBUG << "dropping sketch family: " << e.what();
+  std::vector<sketch::SketchCombination> combos;
+  {
+    SYCCL_TRACE_SPAN(span, "combine", "core");
+    std::vector<sketch::SketchCombination> balanced;
+    for (const auto& s : prototypes) {
+      try {
+        sketch::SketchCombination combo = sketch::balance_across_groups(s, groups_);
+        if (all_to_all) combo = sketch::replicate_for_all_roots(combo, groups_);
+        balanced.push_back(std::move(combo));
+      } catch (const std::runtime_error& e) {
+        // Some sketch families cannot be replicated consistently onto every
+        // root (their mapping corners itself); drop the family.
+        SYCCL_DEBUG << "dropping sketch family: " << e.what();
+      }
     }
+    if (balanced.empty()) throw std::runtime_error("no replicable sketch family found");
+    combos = sketch::generate_combinations(balanced, groups_, config_.sketch.combine);
+    if (combos.empty()) throw std::runtime_error("no sketch combinations generated");
+    span.annotate("combinations", static_cast<double>(combos.size()));
   }
-  if (balanced.empty()) throw std::runtime_error("no replicable sketch family found");
-  const auto combos = sketch::generate_combinations(balanced, groups_, config_.sketch.combine);
-  if (combos.empty()) throw std::runtime_error("no sketch combinations generated");
   breakdown.combine_s = phase_clock.elapsed_seconds();
   breakdown.num_combinations = static_cast<int>(combos.size());
 
@@ -211,7 +227,9 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
     std::vector<double> solve_times(todo.size(), 0.0);
     std::atomic<int> hits{0};
     pool_.parallel_for(todo.size(), [&](std::size_t i) {
+      SYCCL_TRACE_SPAN(span, "solve_class", "core");
       const std::size_t c = static_cast<std::size_t>(todo[i]);
+      span.annotate("class", static_cast<double>(c));
       solver::SolveStats stats;
       out[c] = config_.use_solve_cache
                    ? solver::SubScheduleCache::instance().get_or_solve(
@@ -231,7 +249,11 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
 
   std::vector<bool> all_needed(registry.representative.size(), true);
   std::vector<solver::SubSchedule> coarse_solutions;
-  solve_classes(config_.coarse_solver, config_.E1, all_needed, coarse_solutions);
+  {
+    SYCCL_TRACE_SPAN(span, "coarse_solve", "core");
+    span.annotate("classes", static_cast<double>(registry.representative.size()));
+    solve_classes(config_.coarse_solver, config_.E1, all_needed, coarse_solutions);
+  }
 
   const sim::Simulator simulator(groups_, config_.sim);
   auto evaluate = [&](Candidate& cand, const std::vector<solver::SubSchedule>& solutions,
@@ -239,6 +261,7 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
     // Issue-order tuning triples simulation cost; the coarse pass only needs
     // a ranking, so it simulates once and leaves tuning to the fine pass.
     const bool tune = pass[0] == 'f';
+    SYCCL_TRACE_SPAN(span, "evaluate_candidate", "core");
     std::vector<solver::SubSchedule> per_demand;
     per_demand.reserve(cand.plan.demands.size());
     for (std::size_t di = 0; di < cand.plan.demands.size(); ++di) {
@@ -261,6 +284,8 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
       // FIFO execution model (§5.2 simulator ranking).
       cand.predicted = tune ? simulator.tune_issue_order(sched, eval_coll)
                             : simulator.time_collective(sched, eval_coll);
+      span.annotate("fine", tune ? 1.0 : 0.0);
+      span.annotate("predicted_us", cand.predicted * 1e6);
       SYCCL_DEBUG << pass << " candidate " << cand.combo.describe() << " -> "
                   << cand.predicted * 1e6 << " us";
       return sched;
@@ -276,9 +301,13 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
   // simulator is const, so candidates run on the pool. Determinism: every
   // candidate's predicted time depends only on its own inputs, and the
   // selection below walks candidates in index order.
-  pool_.parallel_for(candidates.size(), [&](std::size_t i) {
-    evaluate(candidates[i], coarse_solutions, "coarse");
-  });
+  {
+    SYCCL_TRACE_SPAN(span, "coarse_eval", "core");
+    span.annotate("candidates", static_cast<double>(candidates.size()));
+    pool_.parallel_for(candidates.size(), [&](std::size_t i) {
+      evaluate(candidates[i], coarse_solutions, "coarse");
+    });
+  }
   breakdown.solve1_s = phase_clock.elapsed_seconds();
 
   // ---- Candidate filter: within R1 of the best, at most R2 (§5.3).
@@ -306,6 +335,7 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
   const std::vector<solver::SubSchedule>* final_solutions = &coarse_solutions;
   std::vector<solver::SubSchedule> fine_solutions;
   if (config_.two_step) {
+    SYCCL_TRACE_SPAN(span, "fine_solve", "core");
     std::vector<bool> needed(registry.representative.size(), false);
     for (const Candidate* cand : survivors) {
       for (int c : cand->demand_class) needed[static_cast<std::size_t>(c)] = true;
@@ -318,9 +348,13 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
   // pool; the winner is then picked sequentially by predicted time with a
   // stable index tie-break, so the choice is independent of completion order.
   std::vector<sim::Schedule> fine_schedules(survivors.size());
-  pool_.parallel_for(survivors.size(), [&](std::size_t i) {
-    fine_schedules[i] = evaluate(*survivors[i], *final_solutions, "fine");
-  });
+  {
+    SYCCL_TRACE_SPAN(span, "fine_eval", "core");
+    span.annotate("survivors", static_cast<double>(survivors.size()));
+    pool_.parallel_for(survivors.size(), [&](std::size_t i) {
+      fine_schedules[i] = evaluate(*survivors[i], *final_solutions, "fine");
+    });
+  }
 
   SynthesisResult result;
   double best = std::numeric_limits<double>::infinity();
@@ -343,6 +377,28 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
   }
   result.schedule.name = "syccl";
   result.breakdown = breakdown;
+
+  // Fold the per-call breakdown into the process-wide metrics registry so
+  // phase totals aggregate across synthesize() calls (one reporting path
+  // with the solver/cache/milp layers). Once per synthesis — name lookups
+  // here are not on a hot path.
+  {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("synth.patterns").add(1);
+    reg.counter("synth.combinations").add(breakdown.num_combinations);
+    reg.counter("synth.subdemands").add(breakdown.num_subdemands);
+    reg.counter("synth.solver_calls").add(breakdown.num_solver_calls);
+    reg.histogram("synth.search_seconds").observe(breakdown.search_s);
+    reg.histogram("synth.combine_seconds").observe(breakdown.combine_s);
+    reg.histogram("synth.solve1_seconds").observe(breakdown.solve1_s);
+    reg.histogram("synth.solve2_seconds").observe(breakdown.solve2_s);
+    reg.histogram("synth.total_seconds").observe(breakdown.total_s);
+    reg.histogram("synth.max_solve_seconds").observe(breakdown.max_solve_s);
+  }
+  synth_span.annotate("combinations", breakdown.num_combinations);
+  synth_span.annotate("subdemands", breakdown.num_subdemands);
+  synth_span.annotate("solver_calls", breakdown.num_solver_calls);
+  synth_span.annotate("predicted_us", result.predicted_time * 1e6);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <fstream>
 #include <optional>
 #include <sstream>
 
@@ -10,6 +11,8 @@
 #include "baselines/teccl.h"
 #include "core/synthesizer.h"
 #include "fuzz/generators.h"
+#include "obs/chrome_trace.h"
+#include "obs/timeline.h"
 #include "runtime/executor.h"
 #include "runtime/validate.h"
 #include "sim/oracle.h"
@@ -21,11 +24,25 @@ namespace syccl::fuzz {
 
 namespace {
 
+/// Writes the two engines' link timelines as one Chrome trace, production
+/// and oracle as separate processes, so Perfetto shows them side by side.
+void write_divergence_trace(const std::string& path, const sim::Schedule& schedule,
+                            const sim::SimResult& production, const sim::OracleResult& oracle,
+                            const topo::Topology& topo) {
+  obs::ChromeTraceBuilder builder;
+  builder.set_process_name(1, "production simulator");
+  obs::add_link_timeline(builder, 1, schedule, production.link_events, &topo);
+  builder.set_process_name(2, "oracle");
+  obs::add_oracle_timeline(builder, 2, schedule, oracle, &topo);
+  std::ofstream file(path, std::ios::binary);
+  file << builder.json();
+}
+
 /// Checks one schedule against all four oracles; appends failures.
 void check_schedule(const sim::Schedule& schedule, const std::string& label,
-                    const coll::Collective& coll, const topo::TopologyGroups& groups,
-                    const sim::SimOptions& sim_opts, const CaseOptions& options,
-                    CaseResult& out) {
+                    const coll::Collective& coll, const topo::Topology& topo,
+                    const topo::TopologyGroups& groups, const sim::SimOptions& sim_opts,
+                    const CaseOptions& options, CaseResult& out) {
   out.schedules_checked++;
   const auto fail = [&](const std::string& what) {
     out.failures.push_back("[" + label + "] " + what);
@@ -43,6 +60,7 @@ void check_schedule(const sim::Schedule& schedule, const std::string& label,
 
   sim::SimOptions opts = sim_opts;
   opts.record_final_state = true;
+  opts.record_link_events = !options.trace_out.empty();
   const sim::Simulator simulator(groups, opts);
 
   std::optional<sim::SimResult> production;
@@ -73,8 +91,11 @@ void check_schedule(const sim::Schedule& schedule, const std::string& label,
     return;
   }
   out.sim_events += production->num_events;
-  for (const auto& d : sim::diff_against_oracle(*production, *oracle, options.rel_tol)) {
-    fail("divergence: " + d);
+  const auto diffs = sim::diff_against_oracle(*production, *oracle, options.rel_tol);
+  for (const auto& d : diffs) fail("divergence: " + d);
+  if (!diffs.empty() && !options.trace_out.empty() && !out.trace_written) {
+    write_divergence_trace(options.trace_out, schedule, *production, *oracle, topo);
+    out.trace_written = true;
   }
 }
 
@@ -103,11 +124,11 @@ CaseResult run_differential_case(std::uint64_t seed, const CaseOptions& options)
 
   // 1. Random direct schedule + mutants.
   const sim::Schedule direct = random_direct_schedule(coll, groups, rng);
-  check_schedule(direct, "direct", coll, groups, sim_opts, options, out);
+  check_schedule(direct, "direct", coll, rt.topo, groups, sim_opts, options, out);
   for (int m = 0; m < options.mutants; ++m) {
     sim::Schedule mutant = direct;
     mutate_schedule(mutant, groups, rng, 1 + static_cast<int>(rng.next_below(3)));
-    check_schedule(mutant, "mutant#" + std::to_string(m), coll, groups, sim_opts, options, out);
+    check_schedule(mutant, "mutant#" + std::to_string(m), coll, rt.topo, groups, sim_opts, options, out);
   }
 
   // 2. Baselines, where the kind/topology is supported.
@@ -124,7 +145,7 @@ CaseResult run_differential_case(std::uint64_t seed, const CaseOptions& options)
     if (fully_connected) {
       try {
         const sim::Schedule nccl = baselines::nccl_schedule(coll, groups);
-        check_schedule(nccl, "nccl", coll, groups, sim_opts, options, out);
+        check_schedule(nccl, "nccl", coll, rt.topo, groups, sim_opts, options, out);
       } catch (const std::invalid_argument&) {
         // Kind not covered by the NCCL baseline; skip.
       }
@@ -135,7 +156,7 @@ CaseResult run_differential_case(std::uint64_t seed, const CaseOptions& options)
       teccl_opts.seed = seed;
       const auto teccl = baselines::teccl_synthesize(coll, groups, teccl_opts);
       if (!teccl.timed_out) {
-        check_schedule(teccl.schedule, "teccl", coll, groups, sim_opts, options, out);
+        check_schedule(teccl.schedule, "teccl", coll, rt.topo, groups, sim_opts, options, out);
       }
     } catch (const std::invalid_argument&) {
       // Kind not covered by the TECCL baseline; skip.
@@ -143,7 +164,7 @@ CaseResult run_differential_case(std::uint64_t seed, const CaseOptions& options)
     if (coll.kind() == coll::CollKind::AllGather && fully_connected) {
       try {
         for (const auto& crafted : baselines::crafted_allgather_suite(coll, groups, true)) {
-          check_schedule(crafted, "crafted:" + crafted.name, coll, groups, sim_opts, options,
+          check_schedule(crafted, "crafted:" + crafted.name, coll, rt.topo, groups, sim_opts, options,
                          out);
         }
       } catch (const std::invalid_argument&) {
@@ -163,7 +184,7 @@ CaseResult run_differential_case(std::uint64_t seed, const CaseOptions& options)
     core::Synthesizer synth(rt.topo, cfg);
     try {
       const auto result = synth.synthesize(coll);
-      check_schedule(result.schedule, "synthesizer", coll, groups, sim_opts, options, out);
+      check_schedule(result.schedule, "synthesizer", coll, rt.topo, groups, sim_opts, options, out);
     } catch (const std::exception&) {
       // Under the deliberately tiny fuzz time budget the synthesizer can
       // fail to produce any valid candidate. That is a synthesis-coverage

@@ -34,6 +34,12 @@ struct CaseOptions {
   int mutants = 2;
   /// Divergence tolerance on times (relative).
   double rel_tol = 1e-9;
+  /// When non-empty: on the first timing/state divergence of this case,
+  /// write a Chrome trace to this path with the production simulator's and
+  /// the oracle's per-link timelines as two separate processes, so the
+  /// disagreement can be eyeballed in Perfetto. Implies link-event recording
+  /// for every checked schedule of the case.
+  std::string trace_out;
 };
 
 struct CaseResult {
@@ -43,6 +49,9 @@ struct CaseResult {
   std::size_t sim_events = 0;
   /// One entry per divergence or checker error; empty means the case passed.
   std::vector<std::string> failures;
+  /// True when CaseOptions::trace_out was set and a divergence trace was
+  /// written (at most one per case — the first divergent schedule).
+  bool trace_written = false;
 };
 
 /// Runs one seeded case. Never throws on schedule-level problems (they land

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "lp/simplex_solver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace syccl::milp {
@@ -214,10 +216,11 @@ bool propagate_branch(const lp::Problem& p, const std::vector<bool>& is_integer,
   return true;
 }
 
-}  // namespace
-
-MilpSolution solve(const MilpProblem& problem, const MilpOptions& options,
-                   const std::optional<std::vector<double>>& incumbent) {
+/// Uninstrumented search body; the public solve() below wraps it in a trace
+/// span and folds the solution's search counters into the metrics registry
+/// once, whichever of the many return paths produced it.
+MilpSolution solve_impl(const MilpProblem& problem, const MilpOptions& options,
+                        const std::optional<std::vector<double>>& incumbent) {
   const int n = problem.lp.num_vars;
   if (static_cast<int>(problem.is_integer.size()) != n) {
     throw std::invalid_argument("is_integer size must match num_vars");
@@ -434,6 +437,37 @@ MilpSolution solve(const MilpProblem& problem, const MilpOptions& options,
   result.status = (open.empty() && !exhausted && result.dropped_nodes == 0)
                       ? MilpStatus::Infeasible
                       : MilpStatus::Limit;
+  return result;
+}
+
+}  // namespace
+
+MilpSolution solve(const MilpProblem& problem, const MilpOptions& options,
+                   const std::optional<std::vector<double>>& incumbent) {
+  SYCCL_TRACE_SPAN(span, "milp.solve", "milp");
+  MilpSolution result = solve_impl(problem, options, incumbent);
+
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::Counter& solves = reg.counter("milp.solves");
+  static obs::Counter& nodes = reg.counter("milp.nodes_explored");
+  static obs::Counter& lp_iters = reg.counter("milp.lp_iterations");
+  static obs::Counter& warm_hits = reg.counter("milp.warm_hits");
+  static obs::Counter& warm_fallbacks = reg.counter("milp.warm_fallbacks");
+  static obs::Counter& presolve_prunes = reg.counter("milp.presolve_prunes");
+  static obs::Counter& dropped = reg.counter("milp.dropped_nodes");
+  solves.add(1);
+  nodes.add(result.nodes_explored);
+  lp_iters.add(result.lp_iterations);
+  warm_hits.add(result.warm_hits);
+  warm_fallbacks.add(result.warm_fallbacks);
+  presolve_prunes.add(result.presolve_prunes);
+  dropped.add(result.dropped_nodes);
+
+  span.annotate("vars", static_cast<double>(problem.lp.num_vars));
+  span.annotate("nodes", static_cast<double>(result.nodes_explored));
+  span.annotate("lp_iterations", static_cast<double>(result.lp_iterations));
+  span.annotate("warm_hits", static_cast<double>(result.warm_hits));
+  span.annotate("status", static_cast<double>(result.status));
   return result;
 }
 

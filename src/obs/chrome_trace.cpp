@@ -1,0 +1,85 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace syccl::obs {
+
+void ChromeTraceBuilder::set_process_name(int pid, std::string name) {
+  names_.push_back({pid, 0, false, std::move(name)});
+}
+
+void ChromeTraceBuilder::set_thread_name(int pid, std::uint64_t tid, std::string name) {
+  names_.push_back({pid, tid, true, std::move(name)});
+}
+
+void ChromeTraceBuilder::add_event(TraceEvent event) {
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceBuilder::add_spans(int pid, const std::vector<ThreadTrace>& threads) {
+  for (const ThreadTrace& t : threads) {
+    set_thread_name(pid, t.tid,
+                    t.name.empty() ? "thread-" + std::to_string(t.tid) : t.name);
+    for (const SpanRecord& s : t.spans) {
+      TraceEvent e;
+      e.name = s.name;
+      e.category = s.category;
+      e.ts_us = s.begin_us;
+      e.dur_us = s.end_us - s.begin_us;
+      e.pid = pid;
+      e.tid = t.tid;
+      e.args.reserve(s.args.size() + 1);
+      for (const auto& [key, value] : s.args) e.args.emplace_back(key, value);
+      e.args.emplace_back("depth", static_cast<double>(s.depth));
+      events_.push_back(std::move(e));
+    }
+  }
+}
+
+std::string ChromeTraceBuilder::json() const {
+  Json trace_events = Json::array();
+
+  for (const NameRecord& n : names_) {
+    Json args = Json::object();
+    args.set("name", Json(n.name));
+    Json meta = Json::object();
+    meta.set("name", Json(n.is_thread ? "thread_name" : "process_name"));
+    meta.set("ph", Json("M"));
+    meta.set("pid", Json(n.pid));
+    if (n.is_thread) meta.set("tid", Json(static_cast<double>(n.tid)));
+    meta.set("args", std::move(args));
+    trace_events.push_back(std::move(meta));
+  }
+
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events_.size());
+  for (const TraceEvent& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) { return a->ts_us < b->ts_us; });
+
+  for (const TraceEvent* e : ordered) {
+    Json ev = Json::object();
+    ev.set("name", Json(e->name));
+    ev.set("cat", Json(e->category));
+    ev.set("ph", Json("X"));
+    ev.set("ts", Json(e->ts_us));
+    ev.set("dur", Json(e->dur_us));
+    ev.set("pid", Json(e->pid));
+    ev.set("tid", Json(static_cast<double>(e->tid)));
+    if (!e->args.empty()) {
+      Json args = Json::object();
+      for (const auto& [key, value] : e->args) args.set(key, Json(value));
+      ev.set("args", std::move(args));
+    }
+    trace_events.push_back(std::move(ev));
+  }
+
+  Json root = Json::object();
+  root.set("traceEvents", std::move(trace_events));
+  root.set("displayTimeUnit", Json("ms"));
+  return root.dump();
+}
+
+}  // namespace syccl::obs

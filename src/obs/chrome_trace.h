@@ -1,0 +1,67 @@
+// Chrome-trace (chrome://tracing / Perfetto "JSON object format") export.
+//
+// Two kinds of content share this builder:
+//   * synthesis traces — span records from obs/trace.h become "X" (complete)
+//     duration events, one Chrome thread per recording thread, with worker
+//     names from obs::set_thread_name;
+//   * simulated timelines — per-link occupancy intervals (obs/timeline.h)
+//     become one Chrome thread *per directed link*, so a schedule renders as
+//     a Gantt chart of wire time.
+// Distinct pids keep the two groups separate in the viewer's process tree.
+//
+// Emitted schema per event: {"name","cat","ph":"X","ts","dur","pid","tid",
+// "args":{...}} with ts/dur in microseconds, plus "M" metadata records for
+// process and thread names. Events are sorted by ts, so consumers (including
+// the repo's own tests) can assume a monotone timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace syccl::obs {
+
+/// One duration event in the builder's staging buffer.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int pid = 0;
+  std::uint64_t tid = 0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+class ChromeTraceBuilder {
+ public:
+  /// Names a process (pid) in the viewer's tree.
+  void set_process_name(int pid, std::string name);
+  /// Names a thread (track). Unnamed tids render as their number.
+  void set_thread_name(int pid, std::uint64_t tid, std::string name);
+
+  void add_event(TraceEvent event);
+
+  /// Folds a tracer snapshot into process `pid`, one track per recording
+  /// thread. Threads without an explicit name get "thread-<tid>".
+  void add_spans(int pid, const std::vector<ThreadTrace>& threads);
+
+  std::size_t num_events() const { return events_.size(); }
+
+  /// Serialises {"traceEvents":[...]} with events sorted by ts (metadata
+  /// records first). The builder is reusable afterwards.
+  std::string json() const;
+
+ private:
+  struct NameRecord {
+    int pid = 0;
+    std::uint64_t tid = 0;
+    bool is_thread = false;
+    std::string name;
+  };
+  std::vector<TraceEvent> events_;
+  std::vector<NameRecord> names_;
+};
+
+}  // namespace syccl::obs

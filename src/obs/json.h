@@ -1,0 +1,104 @@
+// Minimal JSON value: parse + serialise, no external dependencies.
+//
+// The observability exporters (metrics.h, chrome_trace.h) emit JSON, and the
+// tests that gate them need to read that JSON back structurally — string
+// matching would pin formatting instead of content. This is a deliberately
+// small document model (no SAX, no streaming, no comments): numbers are
+// doubles, object key order is preserved, and parse errors throw with a byte
+// offset. It is not a general-purpose JSON library; it exists so the repo's
+// own artifacts (trace.json, metrics.json, BENCH_*.json) can be produced and
+// round-tripped by one implementation.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace syccl::obs {
+
+class Json;
+
+/// Thrown by Json::parse with the byte offset of the first bad character.
+struct JsonParseError : std::runtime_error {
+  JsonParseError(const std::string& what, std::size_t at)
+      : std::runtime_error(what + " at byte " + std::to_string(at)), offset(at) {}
+  std::size_t offset = 0;
+};
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(double n) : kind_(Kind::Number), num_(n) {}
+  Json(int n) : kind_(Kind::Number), num_(n) {}
+  Json(long n) : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+  Json(long long n) : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+  Json(unsigned long n) : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+  Json(unsigned long long n) : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+  Json(const char* s) : kind_(Kind::String), str_(s) {}
+  Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+
+  /// Typed accessors; throw std::logic_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  void push_back(Json value);
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+  const std::vector<Json>& items() const;
+
+  /// Object access. `set` preserves first-insertion order; `get` returns
+  /// nullptr when the key is absent, `at` throws.
+  void set(const std::string& key, Json value);
+  const Json* get(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  bool has(const std::string& key) const { return get(key) != nullptr; }
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Serialises without insignificant whitespace. Numbers use shortest
+  /// round-trip formatting; non-finite numbers serialise as null (JSON has
+  /// no representation for them).
+  std::string dump() const;
+
+  /// Parses a complete document; trailing non-whitespace throws.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace syccl::obs

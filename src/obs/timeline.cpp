@@ -1,0 +1,87 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <set>
+
+namespace syccl::obs {
+
+namespace {
+
+std::string link_track_name(int link_id, const topo::Topology* topo) {
+  if (topo == nullptr || link_id < 0 ||
+      static_cast<std::size_t>(link_id) >= topo->num_links()) {
+    return "link " + std::to_string(link_id);
+  }
+  const topo::Link& link = topo->link(link_id);
+  return "link " + std::to_string(link_id) + " [" + link.kind + "] " +
+         topo->node(link.src).name + "->" + topo->node(link.dst).name;
+}
+
+/// Shared rendering: both engines reduce to (op, block, link, start, end).
+struct Interval {
+  int op;
+  int block;
+  int link;
+  double start;
+  double end;
+};
+
+void add_intervals(ChromeTraceBuilder& builder, int pid, const sim::Schedule& schedule,
+                   const std::vector<Interval>& intervals, const topo::Topology* topo) {
+  std::set<int> links;
+  for (const Interval& iv : intervals) links.insert(iv.link);
+  for (const int link : links) {
+    // Track ids must be non-negative for Chrome; link ids are ≥ 0 already,
+    // but shift by 1 so a stray -1 cannot collide with link 0.
+    builder.set_thread_name(pid, static_cast<std::uint64_t>(link + 1),
+                            link_track_name(link, topo));
+  }
+  for (const Interval& iv : intervals) {
+    TraceEvent e;
+    const bool known_op =
+        iv.op >= 0 && static_cast<std::size_t>(iv.op) < schedule.ops.size();
+    const sim::TransferOp* op = known_op ? &schedule.ops[static_cast<std::size_t>(iv.op)] : nullptr;
+    e.name = "op" + std::to_string(iv.op) +
+             (op != nullptr ? " p" + std::to_string(op->piece) + " " +
+                                  std::to_string(op->src) + "->" + std::to_string(op->dst)
+                            : std::string());
+    e.category = "link";
+    e.ts_us = iv.start * 1e6;
+    e.dur_us = (iv.end - iv.start) * 1e6;
+    e.pid = pid;
+    e.tid = static_cast<std::uint64_t>(iv.link + 1);
+    e.args.emplace_back("op", static_cast<double>(iv.op));
+    e.args.emplace_back("block", static_cast<double>(iv.block));
+    if (op != nullptr) {
+      e.args.emplace_back("piece", static_cast<double>(op->piece));
+      e.args.emplace_back("src", static_cast<double>(op->src));
+      e.args.emplace_back("dst", static_cast<double>(op->dst));
+    }
+    builder.add_event(std::move(e));
+  }
+}
+
+}  // namespace
+
+void add_link_timeline(ChromeTraceBuilder& builder, int pid, const sim::Schedule& schedule,
+                       const std::vector<sim::LinkEvent>& events,
+                       const topo::Topology* topo) {
+  std::vector<Interval> intervals;
+  intervals.reserve(events.size());
+  for (const sim::LinkEvent& e : events) {
+    intervals.push_back({e.op, e.block, e.link, e.start, e.end});
+  }
+  add_intervals(builder, pid, schedule, intervals, topo);
+}
+
+void add_oracle_timeline(ChromeTraceBuilder& builder, int pid, const sim::Schedule& schedule,
+                         const sim::OracleResult& oracle, const topo::Topology* topo) {
+  std::vector<Interval> intervals;
+  intervals.reserve(oracle.events.size());
+  for (const sim::OracleEvent& e : oracle.events) {
+    intervals.push_back({e.op, e.block, e.link, e.start, e.end});
+  }
+  add_intervals(builder, pid, schedule, intervals, topo);
+}
+
+}  // namespace syccl::obs

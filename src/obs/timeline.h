@@ -1,0 +1,36 @@
+// Renders simulated schedules as Chrome-trace link-occupancy timelines.
+//
+// Both simulation engines can supply the underlying intervals: the
+// production simulator via SimOptions::record_link_events, and the reference
+// oracle via OracleResult::events (always recorded). Each directed physical
+// link becomes one Chrome thread, each block's wire occupancy one duration
+// event named after its op — so loading trace.json in Perfetto shows the
+// schedule as a Gantt chart: which link carries what, when, and where the
+// bottleneck serialisation is. The fuzz harness uses the two-engine form to
+// dump a divergent case's production and oracle timelines side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "sim/oracle.h"
+#include "sim/schedule.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace syccl::obs {
+
+/// Adds one track per directed link under process `pid`. `topo`, when given,
+/// names tracks with link endpoints ("link 12 nvswitch0->gpu0.3"); otherwise
+/// tracks are named "link <id>". Event args carry piece/block/src/dst.
+void add_link_timeline(ChromeTraceBuilder& builder, int pid, const sim::Schedule& schedule,
+                       const std::vector<sim::LinkEvent>& events,
+                       const topo::Topology* topo = nullptr);
+
+/// Same rendering for the reference simulator's event list.
+void add_oracle_timeline(ChromeTraceBuilder& builder, int pid, const sim::Schedule& schedule,
+                         const sim::OracleResult& oracle,
+                         const topo::Topology* topo = nullptr);
+
+}  // namespace syccl::obs

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <mutex>
+
+namespace syccl::obs {
+
+namespace detail {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shared epoch so every thread's timestamps line up on one axis.
+Clock::time_point epoch() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+struct ThreadBuffer {
+  std::uint64_t tid = 0;
+  std::mutex mutex;
+  std::string name;
+  std::vector<SpanRecord> spans;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint64_t next_tid = 1;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives late-exiting threads
+  return *r;
+}
+
+/// The calling thread's buffer, registered on first use. The shared_ptr is
+/// held both here (thread lifetime) and in the registry (snapshot lifetime).
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    b->tid = reg.next_tid++;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+void append_span(SpanRecord&& record) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.spans.push_back(std::move(record));
+}
+
+int& thread_depth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace detail
+
+void set_tracing(bool enabled) {
+  detail::epoch();  // pin the epoch before the first span can record
+  detail::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(detail::Clock::now() - detail::epoch())
+      .count();
+}
+
+void set_thread_name(std::string name) {
+  detail::ThreadBuffer& buf = detail::local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.name = std::move(name);
+}
+
+std::vector<ThreadTrace> trace_snapshot() {
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+  {
+    detail::Registry& reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    buffers = reg.buffers;
+  }
+  std::vector<ThreadTrace> out;
+  out.reserve(buffers.size());
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    ThreadTrace t;
+    t.tid = buf->tid;
+    t.name = buf->name;
+    t.spans = buf->spans;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void trace_clear() {
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+  {
+    detail::Registry& reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    buffers = reg.buffers;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    buf->spans.clear();
+  }
+}
+
+}  // namespace syccl::obs

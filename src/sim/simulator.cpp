@@ -9,6 +9,8 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/link_timeline.h"
 
 namespace syccl::sim {
@@ -119,6 +121,14 @@ struct Engine {
   }
 
   void run() {
+    // Event-loop totals for the observability layer. run() is the single
+    // choke point behind Simulator::run/time_collective/tune_issue_order, so
+    // these two relaxed adds (per run, not per event) see every simulation.
+    static obs::Counter& runs_counter = obs::MetricsRegistry::instance().counter("sim.runs");
+    static obs::Counter& events_counter =
+        obs::MetricsRegistry::instance().counter("sim.events");
+    SYCCL_TRACE_SPAN(span, "sim.run", "sim");
+
     result.op_start.assign(schedule.ops.size(), 0.0);
     result.op_finish.assign(schedule.ops.size(), 0.0);
 
@@ -147,6 +157,12 @@ struct Engine {
     }
 
     if (opts.record_final_state) record_final_state();
+
+    runs_counter.add(1);
+    events_counter.add(static_cast<std::int64_t>(result.num_events));
+    span.annotate("ops", static_cast<double>(schedule.ops.size()));
+    span.annotate("events", static_cast<double>(result.num_events));
+    span.annotate("makespan_us", result.makespan * 1e6);
   }
 
   void record_final_state() {
@@ -234,6 +250,10 @@ struct Engine {
         head = start + hop->alpha;
         tail = std::max(start + hop->alpha + occupy, tail + hop->alpha);
         result.num_events++;
+        if (opts.record_link_events) {
+          result.link_events.push_back(
+              {static_cast<int>(idx), b, hop->link_id, start, start + occupy});
+        }
       }
       const double arrival = tail;
       double& slot = dst_state.block_arrival[static_cast<std::size_t>(b)];

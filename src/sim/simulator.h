@@ -33,6 +33,19 @@ struct SimOptions {
   /// never looks at the state; the differential harness (sim/oracle.h)
   /// turns it on to compare against the reference simulator.
   bool record_final_state = false;
+  /// Record every (block, hop) link occupancy in SimResult::link_events.
+  /// Off by default for the same reason; the Chrome-trace timeline export
+  /// (obs/timeline.h) turns it on to render per-link Gantt tracks.
+  bool record_link_events = false;
+};
+
+/// One block occupying one directed physical link (record_link_events only).
+struct LinkEvent {
+  int op = -1;     ///< index into Schedule::ops
+  int block = -1;  ///< pipeline block index within the op
+  int link = -1;   ///< directed physical link id (topo::LinkId)
+  double start = 0.0;  ///< wire claimed (seconds)
+  double end = 0.0;    ///< wire released (start + β·bytes)
 };
 
 /// Final availability of one piece at one rank (record_final_state only;
@@ -57,6 +70,8 @@ struct SimResult {
   std::size_t num_events = 0;
   /// Present (piece, rank) pairs, sorted, when record_final_state is set.
   std::vector<PieceRankState> final_state;
+  /// Per-link occupancy intervals when record_link_events is set.
+  std::vector<LinkEvent> link_events;
 };
 
 /// Immutable after construction: run/time_collective/tune_issue_order are

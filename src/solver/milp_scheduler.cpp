@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "milp/branch_and_bound.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/greedy.h"
 #include "solver/tau.h"
 #include "util/log.h"
@@ -251,6 +253,7 @@ SubSchedule decode(const Encoding& enc, const EpochParams& ep, const std::vector
 
 SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions& options,
                              SolveStats* stats) {
+  SYCCL_TRACE_SPAN(span, "solve_sub_demand", "solver");
   util::Stopwatch clock;
   demand.validate();
   const EpochParams ep = derive_epoch_params(*demand.group, demand.piece_bytes, options.E);
@@ -310,6 +313,40 @@ SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions
   }
 
   local.solve_seconds = clock.elapsed_seconds();
+
+  // Fold the per-solve stats into the metrics registry (one reporting path;
+  // the struct keeps serving per-call consumers like the solve cache and
+  // SynthesisBreakdown). References hoisted: solves run on the synthesis hot
+  // path, so steady-state cost is a handful of relaxed atomics.
+  {
+    auto& reg = obs::MetricsRegistry::instance();
+    static obs::Counter& solves = reg.counter("solver.solves");
+    static obs::Counter& milp_used = reg.counter("solver.milp_used");
+    static obs::Counter& milp_improved = reg.counter("solver.milp_improved");
+    static obs::Counter& nodes = reg.counter("solver.nodes_explored");
+    static obs::Counter& lp_iters = reg.counter("solver.lp_iterations");
+    static obs::Counter& warm_hits = reg.counter("solver.warm_hits");
+    static obs::Counter& warm_fallbacks = reg.counter("solver.warm_fallbacks");
+    static obs::Counter& presolve_prunes = reg.counter("solver.presolve_prunes");
+    static obs::Histogram& seconds = reg.histogram("solver.solve_seconds");
+    static obs::Histogram& binaries = reg.histogram("solver.binaries");
+    solves.add(1);
+    if (local.used_milp) milp_used.add(1);
+    if (local.milp_improved) milp_improved.add(1);
+    nodes.add(local.nodes_explored);
+    lp_iters.add(local.lp_iterations);
+    warm_hits.add(local.warm_hits);
+    warm_fallbacks.add(local.warm_fallbacks);
+    presolve_prunes.add(local.presolve_prunes);
+    seconds.observe(local.solve_seconds);
+    binaries.observe(local.binaries);
+  }
+  span.annotate("binaries", local.binaries);
+  span.annotate("used_milp", local.used_milp ? 1.0 : 0.0);
+  span.annotate("milp_improved", local.milp_improved ? 1.0 : 0.0);
+  span.annotate("nodes", static_cast<double>(local.nodes_explored));
+  span.annotate("epochs", best.num_epochs);
+
   if (stats != nullptr) *stats = local;
   return best;
 }

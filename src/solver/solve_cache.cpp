@@ -5,7 +5,29 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace syccl::solver {
+
+namespace {
+
+/// Registry mirrors of the shard counters (one reporting path with the
+/// shard-local Stats). Hoisted: lookups sit on the parallel solve path.
+obs::Counter& hits_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("solve_cache.hits");
+  return c;
+}
+obs::Counter& misses_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("solve_cache.misses");
+  return c;
+}
+obs::Counter& evictions_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("solve_cache.evictions");
+  return c;
+}
+
+}  // namespace
 
 SubScheduleCache::SubScheduleCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
 
@@ -43,12 +65,14 @@ void SubScheduleCache::evict_locked(Shard& shard) {
     shard.bytes -= victim->second.bytes;
     shard.map.erase(victim);
     ++shard.evictions;
+    evictions_counter().add(1);
   }
 }
 
 SubSchedule SubScheduleCache::get_or_solve(const SubDemand& demand,
                                            const MilpSchedulerOptions& options,
                                            SolveStats* stats) {
+  SYCCL_TRACE_SPAN(span, "solve_cache.lookup", "cache");
   const std::string key = demand.isomorphism_key() + '\n' + options_fingerprint(options);
   Shard& shard = shard_for(key);
 
@@ -63,6 +87,8 @@ SubSchedule SubScheduleCache::get_or_solve(const SubDemand& demand,
       // get() outside the lock: an in-flight entry blocks until the solving
       // thread publishes, which never takes this shard's mutex first.
       lock.unlock();
+      hits_counter().add(1);
+      span.annotate("hit", 1.0);
       if (stats != nullptr) {
         *stats = SolveStats{};
         stats->cache_hit = true;
@@ -70,6 +96,8 @@ SubSchedule SubScheduleCache::get_or_solve(const SubDemand& demand,
       return future.get();
     }
     ++shard.misses;
+    misses_counter().add(1);
+    span.annotate("hit", 0.0);
     Entry entry;
     entry.future = promise.get_future().share();
     entry.last_used = ++shard.tick;
@@ -100,6 +128,17 @@ SubSchedule SubScheduleCache::get_or_solve(const SubDemand& demand,
       shard.bytes += it->second.bytes;
       evict_locked(shard);
     }
+  }
+
+  // Resident-footprint gauges. Only on the miss path, where the preceding
+  // solve (milliseconds at least) dwarfs the 16-shard stats() walk.
+  {
+    const Stats s = this->stats();  // `stats` names the out-param here
+    auto& reg = obs::MetricsRegistry::instance();
+    static obs::Gauge& bytes_gauge = reg.gauge("solve_cache.bytes");
+    static obs::Gauge& entries_gauge = reg.gauge("solve_cache.entries");
+    bytes_gauge.set(static_cast<double>(s.bytes));
+    entries_gauge.set(static_cast<double>(s.entries));
   }
   return result;
 }

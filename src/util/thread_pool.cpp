@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace syccl::util {
 
@@ -11,7 +14,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      obs::set_thread_name("syccl-worker-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 

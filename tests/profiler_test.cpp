@@ -23,6 +23,36 @@ TEST(Fit, RejectsDegenerateInput) {
   EXPECT_THROW(fit_alpha_beta({1.0}, {2.0}), std::invalid_argument);
   EXPECT_THROW(fit_alpha_beta({1.0, 1.0}, {2.0, 3.0}), std::invalid_argument);
   EXPECT_THROW(fit_alpha_beta({1.0, 2.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_alpha_beta({}, {}), std::invalid_argument);
+}
+
+TEST(Fit, RejectsAllIdenticalProbeSizes) {
+  // Vertical line: any number of samples at one size has no defined slope,
+  // even when the times differ and even at large n.
+  const std::vector<double> sizes(8, 4096.0);
+  std::vector<double> times;
+  for (int i = 0; i < 8; ++i) times.push_back(1e-6 * (i + 1));
+  EXPECT_THROW(fit_alpha_beta(sizes, times), std::invalid_argument);
+}
+
+TEST(Fit, ExactlyTwoSamplesIsAnExactFit) {
+  // n = 2 determines the line uniquely: residuals are zero by construction,
+  // so the fit must pass through both points with r² = 1.
+  const LinkProfile p = fit_alpha_beta({1e3, 1e6}, {3e-6, 1.002e-3});
+  EXPECT_NEAR(p.alpha + p.beta * 1e3, 3e-6, 1e-15);
+  EXPECT_NEAR(p.alpha + p.beta * 1e6, 1.002e-3, 1e-12);
+  EXPECT_EQ(p.samples, 2);
+  EXPECT_DOUBLE_EQ(p.r_squared, 1.0);
+}
+
+TEST(Fit, ZeroVarianceTimesFitAsFlatLine) {
+  // All probes took the same time: β must be (numerically) zero, α the
+  // common time, and the ss_tot == 0 guard must report r² = 1 rather than
+  // divide by zero.
+  const LinkProfile p = fit_alpha_beta({1e3, 2e3, 4e3, 8e3}, {7e-6, 7e-6, 7e-6, 7e-6});
+  EXPECT_NEAR(p.beta, 0.0, 1e-18);
+  EXPECT_NEAR(p.alpha, 7e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(p.r_squared, 1.0);
 }
 
 TEST(Profiler, PingMatchesAlphaBetaModel) {

@@ -29,6 +29,7 @@ struct Args {
   int synth_every = 0;  ///< 0 = never run the synthesizer
   int mutants = 2;
   bool verbose = false;
+  std::string trace_out;  ///< Chrome trace of the first divergent case
 };
 
 std::uint64_t parse_u64(const std::string& s) {
@@ -72,10 +73,15 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.mutants = static_cast<int>(parse_u64(v));
     } else if (a == "--verbose") {
       args.verbose = true;
+    } else if (a == "--trace-out") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.trace_out = v;
     } else {
       std::cerr << "unknown argument: " << a << "\n"
                 << "usage: fuzz_schedules [--cases N] [--seed S] [--synth-every K] "
-                   "[--mutants M] [--replay SEED] [--corpus FILE] [--verbose]\n";
+                   "[--mutants M] [--replay SEED] [--corpus FILE] [--trace-out FILE] "
+                   "[--verbose]\n";
       return false;
     }
   }
@@ -127,10 +133,14 @@ int main(int argc, char** argv) {
   std::uint64_t failed_cases = 0;
   std::uint64_t schedules = 0;
   std::uint64_t events = 0;
+  bool trace_written = false;
   for (const Job& job : jobs) {
     syccl::fuzz::CaseOptions opts;
     opts.with_synthesizer = job.with_synth;
     opts.mutants = args.mutants;
+    // Only the first divergent case dumps a timeline; once written, stop
+    // paying for link-event recording.
+    if (!trace_written) opts.trace_out = args.trace_out;
     syccl::fuzz::CaseResult r;
     try {
       r = syccl::fuzz::run_differential_case(job.seed, opts);
@@ -147,6 +157,10 @@ int main(int argc, char** argv) {
       std::cerr << "FAIL seed " << job.seed << " (" << job.origin << "): " << r.desc << "\n";
       for (const auto& f : r.failures) std::cerr << "  " << f << "\n";
       std::cerr << "  replay with: fuzz_schedules --replay " << job.seed << "\n";
+      if (r.trace_written) {
+        trace_written = true;
+        std::cerr << "  divergence timelines written to " << args.trace_out << "\n";
+      }
     } else if (args.verbose) {
       std::cout << "ok seed " << job.seed << ": " << r.desc << " (" << r.schedules_checked
                 << " schedules, " << r.sim_events << " events)\n";
