@@ -256,57 +256,109 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
   }
 
   const sim::Simulator simulator(groups_, config_.sim);
-  auto evaluate = [&](Candidate& cand, const std::vector<solver::SubSchedule>& solutions,
-                      const char* pass) {
+
+  // Batched candidate evaluation: merge every candidate on the pool, then
+  // rank the merged schedules through the simulator's batch API (one shared
+  // topology/path cache, candidates fanned across the pool). Per-candidate
+  // failures surface as BatchTiming errors, never mask other candidates, and
+  // every output is written by candidate index — so the selection below is
+  // deterministic regardless of pool size.
+  auto evaluate_all = [&](const std::vector<Candidate*>& cands,
+                          const std::vector<solver::SubSchedule>& solutions,
+                          const char* pass) -> std::vector<sim::Schedule> {
     // Issue-order tuning triples simulation cost; the coarse pass only needs
     // a ranking, so it simulates once and leaves tuning to the fine pass.
     const bool tune = pass[0] == 'f';
-    SYCCL_TRACE_SPAN(span, "evaluate_candidate", "core");
-    std::vector<solver::SubSchedule> per_demand;
-    per_demand.reserve(cand.plan.demands.size());
-    for (std::size_t di = 0; di < cand.plan.demands.size(); ++di) {
-      per_demand.push_back(solutions[static_cast<std::size_t>(cand.demand_class[di])]);
-    }
-    try {
-      // Always merge and tune the forward schedule first; for reduce/gather
-      // collectives the tuned forward schedule is then reversed (§4.1) and
-      // tuned again — reversing an already well-ordered schedule preserves
-      // its pipelining, reversing a raw one does not.
-      sim::Schedule sched = merge_schedule(cand.plan, per_demand, groups_, false,
-                                           false, "syccl-candidate");
-      if (reverse) {
-        if (tune) simulator.tune_issue_order(sched, coll);
-        sched = reverse_schedule(sched, eval_coll.reduce(),
-                                 static_cast<int>(groups_.group_of.front().size()),
-                                 "syccl-candidate");
+    SYCCL_TRACE_SPAN(span, "evaluate_candidates", "core");
+    span.annotate("candidates", static_cast<double>(cands.size()));
+    span.annotate("fine", tune ? 1.0 : 0.0);
+    const std::size_t n = cands.size();
+    std::vector<sim::Schedule> schedules(n);
+    std::vector<std::string> error(n);
+
+    pool_.parallel_for(n, [&](std::size_t i) {
+      const Candidate& cand = *cands[i];
+      std::vector<solver::SubSchedule> per_demand;
+      per_demand.reserve(cand.plan.demands.size());
+      for (int c : cand.demand_class) {
+        per_demand.push_back(solutions[static_cast<std::size_t>(c)]);
       }
-      // Issue-order tuning removes head-of-line blocking under the per-port
-      // FIFO execution model (§5.2 simulator ranking).
-      cand.predicted = tune ? simulator.tune_issue_order(sched, eval_coll)
-                            : simulator.time_collective(sched, eval_coll);
-      span.annotate("fine", tune ? 1.0 : 0.0);
-      span.annotate("predicted_us", cand.predicted * 1e6);
-      SYCCL_DEBUG << pass << " candidate " << cand.combo.describe() << " -> "
-                  << cand.predicted * 1e6 << " us";
-      return sched;
-    } catch (const std::exception& e) {
-      SYCCL_WARN << "candidate rejected in " << pass << " pass: " << e.what();
-      cand.valid = false;
-      cand.predicted = std::numeric_limits<double>::infinity();
-      return sim::Schedule{};
+      try {
+        schedules[i] =
+            merge_schedule(cand.plan, per_demand, groups_, false, false, "syccl-candidate");
+      } catch (const std::exception& e) {
+        error[i] = e.what();
+      }
+    });
+
+    // Collect the candidates that survived so far; batch calls skip the rest.
+    const auto live_schedules = [&]() {
+      std::pair<std::vector<sim::Schedule*>, std::vector<std::size_t>> live;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (error[i].empty()) {
+          live.first.push_back(&schedules[i]);
+          live.second.push_back(i);
+        }
+      }
+      return live;
+    };
+
+    if (reverse) {
+      // Always tune the forward schedule before flipping it (§4.1): reversing
+      // an already well-ordered schedule preserves its pipelining, reversing
+      // a raw one does not. The coarse pass skips tuning entirely.
+      if (tune) {
+        const auto [fwd, fwd_idx] = live_schedules();
+        const auto tuned = simulator.tune_issue_orders(fwd, coll, 2, &pool_);
+        for (std::size_t j = 0; j < tuned.size(); ++j) {
+          if (!tuned[j].ok()) error[fwd_idx[j]] = tuned[j].error;
+        }
+      }
+      pool_.parallel_for(n, [&](std::size_t i) {
+        if (!error[i].empty()) return;
+        try {
+          schedules[i] = reverse_schedule(schedules[i], eval_coll.reduce(),
+                                          static_cast<int>(groups_.group_of.front().size()),
+                                          "syccl-candidate");
+        } catch (const std::exception& e) {
+          error[i] = e.what();
+        }
+      });
     }
+
+    // Issue-order tuning removes head-of-line blocking under the per-port
+    // FIFO execution model (§5.2 simulator ranking).
+    const auto [live, live_idx] = live_schedules();
+    const std::vector<sim::BatchTiming> timings =
+        tune ? simulator.tune_issue_orders(live, eval_coll, 2, &pool_)
+             : simulator.time_collectives(live, eval_coll, &pool_);
+    for (std::size_t j = 0; j < timings.size(); ++j) {
+      if (timings[j].ok()) {
+        Candidate& cand = *cands[live_idx[j]];
+        cand.predicted = timings[j].time;
+        SYCCL_DEBUG << pass << " candidate " << cand.combo.describe() << " -> "
+                    << cand.predicted * 1e6 << " us";
+      } else {
+        error[live_idx[j]] = timings[j].error;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (error[i].empty()) continue;
+      SYCCL_WARN << "candidate rejected in " << pass << " pass: " << error[i];
+      cands[i]->valid = false;
+      cands[i]->predicted = std::numeric_limits<double>::infinity();
+      schedules[i] = sim::Schedule{};
+    }
+    return schedules;
   };
 
-  // Each coarse evaluation (merge + simulate) is independent and the
-  // simulator is const, so candidates run on the pool. Determinism: every
-  // candidate's predicted time depends only on its own inputs, and the
-  // selection below walks candidates in index order.
   {
     SYCCL_TRACE_SPAN(span, "coarse_eval", "core");
     span.annotate("candidates", static_cast<double>(candidates.size()));
-    pool_.parallel_for(candidates.size(), [&](std::size_t i) {
-      evaluate(candidates[i], coarse_solutions, "coarse");
-    });
+    std::vector<Candidate*> all;
+    all.reserve(candidates.size());
+    for (auto& cand : candidates) all.push_back(&cand);
+    evaluate_all(all, coarse_solutions, "coarse");
   }
   breakdown.solve1_s = phase_clock.elapsed_seconds();
 
@@ -344,16 +396,14 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
     final_solutions = &fine_solutions;
   }
 
-  // Fine evaluation (merge + simulate + issue-order tuning) also runs on the
-  // pool; the winner is then picked sequentially by predicted time with a
-  // stable index tie-break, so the choice is independent of completion order.
-  std::vector<sim::Schedule> fine_schedules(survivors.size());
+  // Fine evaluation (merge + batched simulate + issue-order tuning); the
+  // winner is then picked sequentially by predicted time with a stable index
+  // tie-break, so the choice is independent of completion order.
+  std::vector<sim::Schedule> fine_schedules;
   {
     SYCCL_TRACE_SPAN(span, "fine_eval", "core");
     span.annotate("survivors", static_cast<double>(survivors.size()));
-    pool_.parallel_for(survivors.size(), [&](std::size_t i) {
-      fine_schedules[i] = evaluate(*survivors[i], *final_solutions, "fine");
-    });
+    fine_schedules = evaluate_all(survivors, *final_solutions, "fine");
   }
 
   SynthesisResult result;

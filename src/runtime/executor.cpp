@@ -1,11 +1,14 @@
 #include "runtime/executor.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "sim/analyze.h"
 
 namespace syccl::runtime {
 
@@ -119,14 +122,16 @@ ExecutionReport execute_and_verify(const sim::Schedule& schedule, const coll::Co
 
   // Final verification against the collective's demands.
   const double chunk_bytes = coll.chunk_bytes();
-  std::map<int, std::vector<int>> pieces_by_chunk;
-  for (std::size_t pi = 0; pi < schedule.pieces.size(); ++pi) {
-    pieces_by_chunk[schedule.pieces[pi].chunk].push_back(static_cast<int>(pi));
-  }
+  const sim::DemandIndex demand_index = sim::build_demand_index(schedule, coll);
+  static const std::vector<int> kNoPieces;
+  auto pieces_of = [&](int chunk) -> const std::vector<int>& {
+    const auto it = demand_index.pieces_by_chunk.find(chunk);
+    return it != demand_index.pieces_by_chunk.end() ? it->second : kNoPieces;
+  };
 
   auto check_forward = [&](int chunk, int dst) {
     double covered = 0.0;
-    for (int pi : pieces_by_chunk[chunk]) {
+    for (int pi : pieces_of(chunk)) {
       const auto it = state.find({pi, dst});
       if (it == state.end() || !it->second.present) continue;
       const sim::Piece& p = schedule.pieces[static_cast<std::size_t>(pi)];
@@ -148,12 +153,16 @@ ExecutionReport execute_and_verify(const sim::Schedule& schedule, const coll::Co
     }
   };
 
-  auto check_reduce = [&](int block, int dst, const std::set<int>& contributors) {
+  auto check_reduce = [&](int block, int dst, const std::vector<int>& contributors) {
     double covered = 0.0;
-    for (int pi : pieces_by_chunk[block]) {
+    for (int pi : pieces_of(block)) {
       const auto it = state.find({pi, dst});
       if (it == state.end() || !it->second.present) continue;
-      if (it->second.contributors != contributors) continue;  // partial only
+      // Exactly the demanded contributor set (a partial does not count).
+      if (!std::equal(it->second.contributors.begin(), it->second.contributors.end(),
+                      contributors.begin(), contributors.end())) {
+        continue;
+      }
       Payload expect{};
       for (int c : contributors) {
         for (int e = 0; e < kElementsPerPiece; ++e) {
@@ -178,12 +187,7 @@ ExecutionReport execute_and_verify(const sim::Schedule& schedule, const coll::Co
       for (int d : coll.chunks()[c].dsts) check_forward(static_cast<int>(c), d);
     }
   } else {
-    std::map<int, std::set<int>> contributors_by_dst;
-    for (const auto& c : coll.chunks()) {
-      for (int d : c.dsts) contributors_by_dst[d].insert(c.src);
-    }
-    for (auto& [dst, cs] : contributors_by_dst) {
-      cs.insert(dst);
+    for (const auto& [dst, cs] : demand_index.reduce_demands) {
       check_reduce(dst, dst, cs);
     }
   }

@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "sim/analyze.h"
+
 namespace syccl::runtime {
 
 namespace {
@@ -94,13 +96,10 @@ ValidationReport validate_schedule(const sim::Schedule& schedule, const coll::Co
 
   // Demand coverage.
   const double chunk_bytes = coll.chunk_bytes();
-  std::map<int, std::vector<int>> pieces_by_chunk;
-  for (std::size_t pi = 0; pi < schedule.pieces.size(); ++pi) {
-    pieces_by_chunk[schedule.pieces[pi].chunk].push_back(static_cast<int>(pi));
-  }
-  auto covered = [&](int chunk, int dst, const std::set<int>* need_contrib) {
-    const auto it = pieces_by_chunk.find(chunk);
-    if (it == pieces_by_chunk.end()) return false;
+  const sim::DemandIndex demand_index = sim::build_demand_index(schedule, coll);
+  auto covered = [&](int chunk, int dst, const std::vector<int>* need_contrib) {
+    const auto it = demand_index.pieces_by_chunk.find(chunk);
+    if (it == demand_index.pieces_by_chunk.end()) return false;
     double bytes = 0.0;
     for (int pi : it->second) {
       if (have.count({pi, dst}) == 0) continue;
@@ -127,12 +126,7 @@ ValidationReport validate_schedule(const sim::Schedule& schedule, const coll::Co
       }
     }
   } else {
-    std::map<int, std::set<int>> contributors_by_dst;
-    for (const auto& c : coll.chunks()) {
-      for (int d : c.dsts) contributors_by_dst[d].insert(c.src);
-    }
-    for (auto& [dst, cs] : contributors_by_dst) {
-      cs.insert(dst);
+    for (const auto& [dst, cs] : demand_index.reduce_demands) {
       if (!covered(dst, dst, &cs)) {
         report.errors.push_back("reduce demand unmet at rank " + std::to_string(dst));
       }

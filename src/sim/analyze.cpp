@@ -7,6 +7,32 @@
 
 namespace syccl::sim {
 
+std::vector<std::pair<int, std::vector<int>>> reduce_demands(const coll::Collective& coll) {
+  std::map<int, std::vector<int>> by_dst;
+  for (const auto& c : coll.chunks()) {
+    for (int d : c.dsts) by_dst[d].push_back(c.src);
+  }
+  std::vector<std::pair<int, std::vector<int>>> out;
+  out.reserve(by_dst.size());
+  for (auto& [dst, contribs] : by_dst) {
+    contribs.push_back(dst);
+    std::sort(contribs.begin(), contribs.end());
+    contribs.erase(std::unique(contribs.begin(), contribs.end()), contribs.end());
+    out.emplace_back(dst, std::move(contribs));
+  }
+  return out;
+}
+
+DemandIndex build_demand_index(const Schedule& schedule, const coll::Collective& coll) {
+  DemandIndex index;
+  index.pieces_by_chunk.reserve(schedule.pieces.size());
+  for (std::size_t i = 0; i < schedule.pieces.size(); ++i) {
+    index.pieces_by_chunk[schedule.pieces[i].chunk].push_back(static_cast<int>(i));
+  }
+  if (coll.reduce()) index.reduce_demands = reduce_demands(coll);
+  return index;
+}
+
 ScheduleStats analyze_schedule(const Schedule& schedule, const topo::TopologyGroups& groups,
                                const SimOptions& options) {
   ScheduleStats stats;

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/schedule.h"
@@ -12,6 +14,27 @@
 #include "topo/groups.h"
 
 namespace syccl::sim {
+
+/// Demand-side index of a (schedule, collective) pair, shared by every
+/// consumer that checks demand coverage — the simulator's timing check, the
+/// runtime validator, and the payload executor — so the grouping logic exists
+/// once instead of per call site.
+struct DemandIndex {
+  /// Indices into Schedule::pieces carrying each chunk id.
+  std::unordered_map<int, std::vector<int>> pieces_by_chunk;
+  /// Reduce collectives only: (destination rank, sorted deduplicated
+  /// contributor ranks — the chunk sources plus the destination's own
+  /// partial), ascending by destination. Empty for forward collectives.
+  std::vector<std::pair<int, std::vector<int>>> reduce_demands;
+};
+
+/// Builds both indices. `reduce_demands` is filled iff `coll.reduce()`.
+DemandIndex build_demand_index(const Schedule& schedule, const coll::Collective& coll);
+
+/// The reduce demand index alone, derived from the collective (no schedule
+/// needed): ascending (destination, sorted contributors incl. destination).
+/// Also the piece layout for Reduce/ReduceScatter (block index == dst rank).
+std::vector<std::pair<int, std::vector<int>>> reduce_demands(const coll::Collective& coll);
 
 struct ScheduleStats {
   std::size_t num_ops = 0;

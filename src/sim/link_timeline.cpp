@@ -1,62 +1,16 @@
 #include "sim/link_timeline.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
+#include <cstring>
 
 namespace syccl::sim {
 
-namespace {
-
-/// Merge tolerance between two time points: a few ulps, relative to their
-/// magnitude, with a tiny absolute floor for times near zero. An absolute
-/// epsilon (the old 1e-18) is below one ulp of any time ≥ ~4.5e-3 s, so
-/// rounding-level gaps between mathematically adjacent intervals at second
-/// scale never merged and the map fragmented into O(#transfers) slivers,
-/// degrading allocation to O(n²) on long schedules.
-double touch_tolerance(double a, double b) {
-  constexpr double kUlps = 4.0;
-  const double scale = std::max(std::fabs(a), std::fabs(b));
-  return std::max(1e-18, kUlps * std::numeric_limits<double>::epsilon() * scale);
-}
-
-bool touches(double earlier_end, double later_start) {
-  return earlier_end >= later_start - touch_tolerance(earlier_end, later_start);
-}
-
-}  // namespace
-
-double LinkTimeline::allocate(double ready, double dur) {
-  if (dur <= 0) return ready;
-  double t = ready;
-  // First interval that ends after t (candidates for conflict).
-  auto it = intervals_.upper_bound(t);
-  if (it != intervals_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second > t) t = prev->second;
-  }
-  while (it != intervals_.end() && it->first < t + dur) {
-    t = std::max(t, it->second);
-    ++it;
-  }
-  // Insert [t, t+dur), merging with touching neighbours.
-  double lo = t;
-  double hi = t + dur;
-  auto next = intervals_.lower_bound(lo);
-  if (next != intervals_.begin()) {
-    auto prev = std::prev(next);
-    if (touches(prev->second, lo)) {
-      lo = prev->first;
-      hi = std::max(hi, prev->second);
-      next = intervals_.erase(prev);
-    }
-  }
-  while (next != intervals_.end() && touches(hi, next->first)) {
-    hi = std::max(hi, next->second);
-    next = intervals_.erase(next);
-  }
-  intervals_.emplace(lo, hi);
-  return t;
+void LinkTimeline::grow() {
+  const std::size_t new_cap = cap_ * 2;
+  Interval* fresh = new Interval[new_cap];
+  std::memcpy(fresh, data_, size_ * sizeof(Interval));
+  if (data_ != inline_) delete[] data_;
+  data_ = fresh;
+  cap_ = new_cap;
 }
 
 }  // namespace syccl::sim

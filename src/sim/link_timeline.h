@@ -14,25 +14,229 @@
 // endpoints (relative, so it works at any time scale). Gaps that small cannot
 // host any transfer of realistic duration, so merging never changes an
 // allocation result beyond ulp-level rounding.
+//
+// Storage is a sorted small-vector of disjoint [start, end) intervals with a
+// fixed inline capacity: a saturated link — common, because merging compacts
+// back-to-back transfers into one interval — never leaves the inline buffer
+// and allocates in O(1) via the last-interval append path. Requests that
+// land before the last interval (frequent on multi-source links, where
+// transfers from idle sources become ready early and may claim mid-timeline
+// gaps) take a position-hinted scan plus an in-place merge.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
-#include <map>
+#include <cstdint>
+#include <limits>
+#include <utility>
 
 namespace syccl::sim {
 
 class LinkTimeline {
  public:
+  LinkTimeline() = default;
+  ~LinkTimeline() {
+    if (data_ != inline_) delete[] data_;
+  }
+  LinkTimeline(const LinkTimeline& o) { assign(o); }
+  LinkTimeline& operator=(const LinkTimeline& o) {
+    if (this != &o) {
+      clear_storage();
+      assign(o);
+    }
+    return *this;
+  }
+  LinkTimeline(LinkTimeline&& o) noexcept { steal(std::move(o)); }
+  LinkTimeline& operator=(LinkTimeline&& o) noexcept {
+    if (this != &o) {
+      clear_storage();
+      steal(std::move(o));
+    }
+    return *this;
+  }
+
   /// Allocates `dur` seconds starting no earlier than `ready`; returns the
   /// start time. Zero/negative durations claim no slot and start at `ready`.
-  double allocate(double ready, double dur);
+  /// Inline so the per-event fast path (saturated link: extend or append the
+  /// last interval) folds into the simulator's hop loop; requests that could
+  /// fit a mid-timeline gap fall through to the gap-search path.
+  double allocate(double ready, double dur) {
+    if (dur <= 0) return ready;
+    if (size_ == 0) {
+      data_[0] = {ready, ready + dur};
+      size_ = 1;
+      return ready;
+    }
+    // Fast path: the request cannot use any gap before the last interval
+    // (every such gap ends at or before `ready`), so it starts at
+    // max(ready, last.end) and either extends the last interval or appends a
+    // new one. On a saturated link every allocation takes this branch.
+    Interval& last = data_[size_ - 1];
+    if (ready >= last.start) {
+      const double t = ready > last.end ? ready : last.end;
+      if (touches(last.end, t)) {
+        last.end = t + dur > last.end ? t + dur : last.end;
+      } else {
+        if (size_ == cap_) grow();
+        data_[size_++] = {t, t + dur};
+      }
+      return t;
+    }
+    return allocate_slow(ready, dur);
+  }
 
   /// Number of stored busy intervals (merged). Exposed for the fragmentation
   /// unit tests; a saturated link must stay at O(1) intervals.
-  std::size_t num_intervals() const { return intervals_.size(); }
+  std::size_t num_intervals() const { return size_; }
+
+  /// Drops every interval but keeps heap capacity (engine-reuse path).
+  void reset() {
+    size_ = 0;
+    hint_ = 0;
+  }
 
  private:
-  std::map<double, double> intervals_;  // start -> end
+  struct Interval {
+    double start;
+    double end;
+  };
+
+  static constexpr std::size_t kInline = 16;
+
+  /// Merge tolerance between two time points: a few ulps, relative to their
+  /// magnitude, with a tiny absolute floor for times near zero. An absolute
+  /// epsilon (the old 1e-18) is below one ulp of any time ≥ ~4.5e-3 s, so
+  /// rounding-level gaps between mathematically adjacent intervals at second
+  /// scale never merged and the timeline fragmented into O(#transfers)
+  /// slivers, degrading allocation to O(n²) on long schedules.
+  static double touch_tolerance(double a, double b) {
+    constexpr double kUlps = 4.0;
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::max(1e-18, kUlps * std::numeric_limits<double>::epsilon() * scale);
+  }
+  static bool touches(double earlier_end, double later_start) {
+    return earlier_end >= later_start - touch_tolerance(earlier_end, later_start);
+  }
+
+  /// Gap-search path: the request lands before the last interval. Inline for
+  /// the same reason as `allocate` — on fragmented timelines this is the
+  /// majority path, and an out-of-line call would spill the simulator's
+  /// head/tail registers on every event.
+  double allocate_slow(double ready, double dur) {
+    // The request may fit a gap in the middle of the timeline. First interval
+    // whose start is > ready; its predecessor may still cover `ready`.
+    // Requests land near the tail on average, so on short timelines a
+    // backward scan of predictable compares beats the binary search's
+    // mispredicted halvings.
+    double t = ready;
+    std::size_t idx;
+    // Position hint: successive blocks of one op allocate at nearly the same
+    // point in the timeline, so the previous insert position usually still
+    // satisfies the upper-bound invariant and the scan collapses to two
+    // compares.
+    if (hint_ <= size_ && (hint_ == 0 || data_[hint_ - 1].start <= ready) &&
+        (hint_ == size_ || data_[hint_].start > ready)) {
+      idx = hint_;
+    } else if (size_ <= 64) {
+      idx = size_;
+      while (idx > 0 && data_[idx - 1].start > ready) --idx;
+    } else {
+      idx = static_cast<std::size_t>(
+          std::upper_bound(data_, data_ + size_, ready,
+                           [](double v, const Interval& iv) { return v < iv.start; }) -
+          data_);
+    }
+    if (idx > 0 && data_[idx - 1].end > t) t = data_[idx - 1].end;
+    while (idx < size_ && data_[idx].start < t + dur) {
+      t = std::max(t, data_[idx].end);
+      ++idx;
+    }
+
+    // Insert [t, t+dur) at position `idx`, merging with touching neighbours.
+    // `idx` is the insertion point already: every interval before it was
+    // either left of `ready` or walked over during conflict resolution
+    // (end <= t), so all have start < t; the interval at `idx`, if any,
+    // starts >= t + dur.
+    double lo = t;
+    double hi = t + dur;
+    std::size_t pos = idx;
+    std::size_t erased = 0;
+    if (pos > 0 && touches(data_[pos - 1].end, lo)) {
+      --pos;
+      lo = data_[pos].start;
+      hi = std::max(hi, data_[pos].end);
+      ++erased;
+    }
+    while (pos + erased < size_ && touches(hi, data_[pos + erased].start)) {
+      hi = std::max(hi, data_[pos + erased].end);
+      ++erased;
+    }
+    splice(pos, erased, lo, hi);
+    // The next request on this link tends to become ready inside or just
+    // after the interval written at `pos`, whose start is <= that ready time.
+    hint_ = static_cast<std::uint32_t>(pos + 1);
+    return t;
+  }
+
+  /// Inserts [lo, hi) at `pos`, replacing the `erased` intervals already
+  /// merged into it (slow path only). The merged case writes in place; only
+  /// a net insert/shrink moves the tail.
+  void splice(std::size_t pos, std::size_t erased, double lo, double hi) {
+    if (erased >= 1) {
+      data_[pos] = {lo, hi};
+      if (erased > 1) {
+        for (std::size_t i = pos + erased; i < size_; ++i) data_[i - erased + 1] = data_[i];
+        size_ -= erased - 1;
+      }
+      return;
+    }
+    if (size_ == cap_) grow();
+    for (std::size_t i = size_; i > pos; --i) data_[i] = data_[i - 1];
+    data_[pos] = {lo, hi};
+    ++size_;
+  }
+
+  void grow();
+
+  void assign(const LinkTimeline& o) {
+    if (o.size_ > kInline) {
+      data_ = new Interval[o.cap_];
+      cap_ = o.cap_;
+    }
+    size_ = o.size_;
+    hint_ = o.hint_;
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = o.data_[i];
+  }
+  void steal(LinkTimeline&& o) noexcept {
+    if (o.data_ != o.inline_) {
+      data_ = o.data_;
+      cap_ = o.cap_;
+      o.data_ = o.inline_;
+      o.cap_ = kInline;
+    } else {
+      for (std::size_t i = 0; i < o.size_; ++i) inline_[i] = o.inline_[i];
+    }
+    size_ = o.size_;
+    hint_ = o.hint_;
+    o.size_ = 0;
+    o.hint_ = 0;
+  }
+  void clear_storage() {
+    if (data_ != inline_) delete[] data_;
+    data_ = inline_;
+    cap_ = kInline;
+    size_ = 0;
+    hint_ = 0;
+  }
+
+  Interval* data_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = kInline;
+  /// Last slow-path insert position; validated before use, so a stale value
+  /// costs two compares and falls back to the scan.
+  std::uint32_t hint_ = 0;
+  Interval inline_[kInline];
 };
 
 }  // namespace syccl::sim

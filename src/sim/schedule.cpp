@@ -1,8 +1,9 @@
 #include "sim/schedule.h"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
+
+#include "sim/analyze.h"
 
 namespace syccl::sim {
 
@@ -51,19 +52,13 @@ std::vector<Piece> pieces_for(const coll::Collective& coll) {
   // Reduce flows: one reduce piece per destination block, merging the
   // contributions of every chunk that targets it (plus the destination's own
   // partial).
-  std::map<int, std::vector<int>> contributors_by_dst;
-  for (const auto& c : coll.chunks()) {
-    for (int d : c.dsts) contributors_by_dst[d].push_back(c.src);
-  }
-  for (auto& [dst, contribs] : contributors_by_dst) {
-    contribs.push_back(dst);
-    std::sort(contribs.begin(), contribs.end());
+  for (auto& [dst, contribs] : reduce_demands(coll)) {
     Piece p;
     p.chunk = dst;  // block index == destination rank for Reduce/ReduceScatter
     p.bytes = coll.chunk_bytes();
     p.origin = -1;
     p.reduce = true;
-    p.contributors = contribs;
+    p.contributors = std::move(contribs);
     out.push_back(std::move(p));
   }
   return out;

@@ -2,94 +2,150 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <string>
-#include <tuple>
-#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/analyze.h"
 #include "sim/link_timeline.h"
+#include "util/thread_pool.h"
 
 namespace syccl::sim {
 
 namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint8_t kPresent = 1;
+constexpr std::uint8_t kForwarded = 2;
+}  // namespace
 
-/// Bitset over ranks, used for reduce-contributor tracking.
-class RankSet {
- public:
-  explicit RankSet(int num_ranks = 0) : words_((static_cast<std::size_t>(num_ranks) + 63) / 64) {}
-  void set(int r) { words_[static_cast<std::size_t>(r) / 64] |= 1ull << (r % 64); }
-  bool test(int r) const { return (words_[static_cast<std::size_t>(r) / 64] >> (r % 64)) & 1; }
-  void merge(const RankSet& o) {
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
-  }
-  bool contains_all(const std::vector<int>& ranks) const {
-    for (int r : ranks) {
-      if (!test(r)) return false;
-    }
-    return true;
-  }
-  bool contains(const RankSet& o) const {
-    for (std::size_t i = 0; i < o.words_.size(); ++i) {
-      if (i >= words_.size()) {
-        if (o.words_[i] != 0) return false;
-        continue;
+// Resolved once per Simulator and shared (read-only) by every engine run:
+// for each (dimension, rank), the group id and the full physical hop path
+// rank → group switch and group switch → rank, flattened into one array so
+// an op's path is two index ranges instead of a per-op vector build.
+//
+// Link busy-state is keyed by the directed physical link id, shared across
+// dimensions: a rail (dim 1) and a spine (dim 2) transfer from the same GPU
+// contend for the same NIC uplink. `num_links` bounds those ids so engines
+// can keep timelines in a dense vector.
+struct Simulator::PathCache {
+  struct Entry {
+    std::int32_t group = -1;
+    std::uint32_t up_begin = 0, up_end = 0;
+    std::uint32_t down_begin = 0, down_end = 0;
+  };
+
+  int num_dims = 0;
+  int num_ranks = 0;
+  int num_links = 0;
+  std::vector<topo::PathHop> hops;
+  std::vector<Entry> entries;  ///< dim * num_ranks + rank
+  /// src * num_ranks + dst → best common dimension (-1 if none). Ops usually
+  /// leave `dim` unset, so this lookup runs once per op per simulation; the
+  /// dims × membership scan it replaces is loop-invariant across runs.
+  std::vector<std::int32_t> pair_dim;
+
+  explicit PathCache(const topo::TopologyGroups& groups) {
+    num_dims = groups.num_dims();
+    num_ranks =
+        groups.group_of.empty() ? 0 : static_cast<int>(groups.group_of.front().size());
+    entries.assign(static_cast<std::size_t>(num_dims) * static_cast<std::size_t>(num_ranks),
+                   Entry{});
+    int max_link = -1;
+    for (int d = 0; d < num_dims; ++d) {
+      for (int r = 0; r < num_ranks; ++r) {
+        const int g = groups.group_of[static_cast<std::size_t>(d)][static_cast<std::size_t>(r)];
+        if (g < 0) continue;
+        const topo::GroupTopology& gt = groups.group(d, g);
+        const int l = gt.local_of(r);
+        Entry& e = entries[static_cast<std::size_t>(d) * static_cast<std::size_t>(num_ranks) +
+                           static_cast<std::size_t>(r)];
+        e.group = g;
+        e.up_begin = static_cast<std::uint32_t>(hops.size());
+        for (const auto& h : gt.up_hops[static_cast<std::size_t>(l)]) {
+          hops.push_back(h);
+          max_link = std::max(max_link, h.link_id);
+        }
+        e.up_end = static_cast<std::uint32_t>(hops.size());
+        e.down_begin = e.up_end;
+        for (const auto& h : gt.down_hops[static_cast<std::size_t>(l)]) {
+          hops.push_back(h);
+          max_link = std::max(max_link, h.link_id);
+        }
+        e.down_end = static_cast<std::uint32_t>(hops.size());
       }
-      if ((o.words_[i] & ~words_[i]) != 0) return false;
     }
-    return true;
-  }
-  std::vector<int> to_sorted_vector(int num_ranks) const {
-    std::vector<int> out;
-    for (int r = 0; r < num_ranks; ++r) {
-      if (test(r)) out.push_back(r);
+    num_links = max_link + 1;
+    pair_dim.resize(static_cast<std::size_t>(num_ranks) * static_cast<std::size_t>(num_ranks));
+    for (int a = 0; a < num_ranks; ++a) {
+      for (int b = 0; b < num_ranks; ++b) {
+        pair_dim[static_cast<std::size_t>(a) * static_cast<std::size_t>(num_ranks) +
+                 static_cast<std::size_t>(b)] = groups.best_common_dim(a, b);
+      }
     }
-    return out;
   }
-
- private:
-  std::vector<std::uint64_t> words_;
 };
 
-struct PieceState {
-  std::vector<double> block_arrival;  ///< per-block availability time
-  RankSet contributors;               ///< reduce pieces only
-  bool present = false;
-  /// Set once this rank forwarded its partial (reduce pieces only). A
-  /// contribution merged in afterwards would never reach downstream ranks
-  /// through the already-sent copy — the schedule is racy, reject it.
-  bool forwarded = false;
-};
+namespace {
 
-using StateKey = std::uint64_t;
-
-StateKey key_of(int piece, int rank) {
-  return (static_cast<StateKey>(static_cast<std::uint32_t>(piece)) << 32) |
-         static_cast<std::uint32_t>(rank);
-}
-
-// Link busy-state (sim/link_timeline.h) is keyed by the directed physical
-// link id, shared across dimensions: a rail (dim 1) and a spine (dim 2)
-// transfer from the same GPU contend for the same NIC uplink.
-
+/// One simulation's working state. All of it is flat: piece state lives in a
+/// lazily-allocated dense row per piece (slot ids into struct-of-arrays
+/// columns, block arrivals and reduce-contributor bitsets in arenas), link
+/// timelines in a dense per-link-id vector. No per-op hashing, no per-op
+/// copies — arena offsets stay valid across allocation, so the source state
+/// is read in place (the old map-backed engine had to copy `block_arrival`
+/// and the contributor set on every op because an insertion could rehash).
 struct Engine {
   const topo::TopologyGroups& groups;
   const SimOptions& opts;
   const Schedule& schedule;
+  const Simulator::PathCache& paths;
   int num_ranks;
+  int contrib_words;
 
-  std::unordered_map<StateKey, PieceState> state;
-  std::unordered_map<StateKey, LinkTimeline> port_busy;
+  // Per piece: block count and the base of its rank row (-1 until touched).
+  std::vector<std::int32_t> nb_of;
+  std::vector<std::int32_t> row_of;
+  // Rank rows: row_of[piece] + rank → slot id, or -1 while untouched.
+  std::vector<std::int32_t> slots;
+  // Per slot (struct-of-arrays):
+  std::vector<std::uint32_t> arrival_at;  ///< base into `arrivals`, nb doubles
+  std::vector<std::uint32_t> contrib_at;  ///< base into `contribs` (reduce only)
+  std::vector<std::uint8_t> flags;        ///< kPresent | kForwarded
+  std::vector<double> arrivals;
+  std::vector<std::uint64_t> contribs;
+
+  std::vector<LinkTimeline> links;
   SimResult result;
 
-  Engine(const topo::TopologyGroups& g, const SimOptions& o, const Schedule& s)
-      : groups(g), opts(o), schedule(s) {
-    num_ranks = groups.group_of.empty()
-                    ? 0
-                    : static_cast<int>(groups.group_of.front().size());
+  /// Per-op resolved hop path (timeline pointer + loop-invariant α / β·b),
+  /// reused across ops to avoid a per-op allocation.
+  struct ResolvedHop {
+    LinkTimeline* link;
+    double alpha;
+    double occupy;
+    int link_id;
+  };
+  std::vector<ResolvedHop> hop_scratch;
+
+  Engine(const topo::TopologyGroups& g, const SimOptions& o, const Schedule& s,
+         const Simulator::PathCache& p)
+      : groups(g), opts(o), schedule(s), paths(p) {
+    num_ranks = paths.num_ranks;
+    contrib_words = (num_ranks + 63) / 64;
+    nb_of.resize(schedule.pieces.size());
+    for (std::size_t i = 0; i < schedule.pieces.size(); ++i) {
+      nb_of[i] = blocks_for(schedule.pieces[i].bytes);
+    }
+    row_of.assign(schedule.pieces.size(), -1);
+    const std::size_t reserve_slots = std::min<std::size_t>(2 * schedule.ops.size() + 8, 1 << 16);
+    arrival_at.reserve(reserve_slots);
+    contrib_at.reserve(reserve_slots);
+    flags.reserve(reserve_slots);
+    links.resize(static_cast<std::size_t>(paths.num_links));
   }
 
   int blocks_for(double bytes) const {
@@ -97,27 +153,54 @@ struct Engine {
     return std::clamp(nb, 1, std::max(1, opts.max_blocks));
   }
 
-  PieceState& state_at(int piece, int rank) {
-    auto [it, inserted] = state.try_emplace(key_of(piece, rank));
-    if (inserted) {
-      const Piece& p = schedule.pieces[static_cast<std::size_t>(piece)];
-      const int nb = blocks_for(p.bytes);
-      PieceState& ps = it->second;
-      ps.contributors = RankSet(num_ranks);
-      if (!p.reduce && p.origin == rank) {
-        ps.block_arrival.assign(static_cast<std::size_t>(nb), 0.0);
-        ps.present = true;
-      } else if (p.reduce &&
-                 std::binary_search(p.contributors.begin(), p.contributors.end(), rank)) {
-        ps.block_arrival.assign(static_cast<std::size_t>(nb), 0.0);
-        ps.present = true;
-        ps.contributors.set(rank);
-      } else {
-        ps.block_arrival.assign(static_cast<std::size_t>(nb),
-                                std::numeric_limits<double>::infinity());
-      }
+  /// Slot of (piece, rank) or -1 if never touched (lookup only).
+  std::int32_t slot_of(int piece, int rank) const {
+    const std::int32_t row = row_of[static_cast<std::size_t>(piece)];
+    if (row < 0) return -1;
+    return slots[static_cast<std::size_t>(row) + static_cast<std::size_t>(rank)];
+  }
+
+  /// Slot of (piece, rank), materialising the initial state on first touch.
+  std::int32_t ensure_slot(int piece, int rank) {
+    std::int32_t& row = row_of[static_cast<std::size_t>(piece)];
+    if (row < 0) {
+      row = static_cast<std::int32_t>(slots.size());
+      slots.resize(slots.size() + static_cast<std::size_t>(num_ranks), -1);
     }
-    return it->second;
+    std::int32_t& s = slots[static_cast<std::size_t>(row) + static_cast<std::size_t>(rank)];
+    if (s >= 0) return s;
+    s = static_cast<std::int32_t>(flags.size());
+    const Piece& p = schedule.pieces[static_cast<std::size_t>(piece)];
+    const int nb = nb_of[static_cast<std::size_t>(piece)];
+    const bool contributes =
+        p.reduce && std::binary_search(p.contributors.begin(), p.contributors.end(), rank);
+    const bool present = (!p.reduce && p.origin == rank) || contributes;
+    arrival_at.push_back(static_cast<std::uint32_t>(arrivals.size()));
+    arrivals.insert(arrivals.end(), static_cast<std::size_t>(nb), present ? 0.0 : kInf);
+    flags.push_back(present ? kPresent : 0);
+    if (p.reduce) {
+      const std::uint32_t base = static_cast<std::uint32_t>(contribs.size());
+      contrib_at.push_back(base);
+      contribs.insert(contribs.end(), static_cast<std::size_t>(contrib_words), 0);
+      if (contributes) {
+        contribs[base + static_cast<std::size_t>(rank) / 64] |= 1ull << (rank % 64);
+      }
+    } else {
+      contrib_at.push_back(0);
+    }
+    return s;
+  }
+
+  bool present(std::int32_t slot) const { return (flags[static_cast<std::size_t>(slot)] & kPresent) != 0; }
+
+  /// True iff the slot's contributor bitset covers every rank in `ranks`.
+  bool contains_all(std::int32_t slot, const std::vector<int>& ranks) const {
+    const std::uint64_t* words = contribs.data() + contrib_at[static_cast<std::size_t>(slot)];
+    for (int r : ranks) {
+      if (r < 0 || r >= num_ranks) return false;
+      if (((words[static_cast<std::size_t>(r) / 64] >> (r % 64)) & 1) == 0) return false;
+    }
+    return true;
   }
 
   void run() {
@@ -133,18 +216,34 @@ struct Engine {
     result.op_finish.assign(schedule.ops.size(), 0.0);
 
     // Ops are processed phase by phase with a barrier between phases; inside
-    // a phase, issue order is the per-port order.
-    std::vector<std::size_t> order(schedule.ops.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return schedule.ops[a].phase < schedule.ops[b].phase;
-    });
+    // a phase, issue order is the per-port order. Schedules almost always
+    // list ops in phase order already (merge/reverse/tuning all preserve
+    // it), so the sort — and its index vector — is only materialised when an
+    // out-of-order phase is actually present.
+    std::vector<std::size_t> order;
+    bool sorted = true;
+    for (std::size_t i = 1; i < schedule.ops.size(); ++i) {
+      if (schedule.ops[i].phase < schedule.ops[i - 1].phase) {
+        sorted = false;
+        break;
+      }
+    }
+    if (!sorted) {
+      order.resize(schedule.ops.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return schedule.ops[a].phase < schedule.ops[b].phase;
+      });
+    }
 
     double phase_floor = 0.0;
     double phase_max = 0.0;
-    int current_phase = order.empty() ? 0 : schedule.ops[order.front()].phase;
+    int current_phase = schedule.ops.empty()
+                            ? 0
+                            : schedule.ops[sorted ? 0 : order.front()].phase;
 
-    for (std::size_t idx : order) {
+    for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
+      const std::size_t idx = sorted ? i : order[i];
       const TransferOp& op = schedule.ops[idx];
       if (op.phase != current_phase) {
         phase_floor = phase_max;
@@ -166,203 +265,191 @@ struct Engine {
   }
 
   void record_final_state() {
-    for (const auto& [key, ps] : state) {
-      if (!ps.present) continue;
-      PieceRankState out;
-      out.piece = static_cast<int>(key >> 32);
-      out.rank = static_cast<int>(key & 0xFFFFFFFFu);
-      out.block_arrival = ps.block_arrival;
-      if (schedule.pieces[static_cast<std::size_t>(out.piece)].reduce) {
-        out.contributors = ps.contributors.to_sorted_vector(num_ranks);
+    // Piece-major, rank-ascending iteration yields the sorted order the
+    // result contract requires.
+    for (int piece = 0; piece < static_cast<int>(schedule.pieces.size()); ++piece) {
+      if (row_of[static_cast<std::size_t>(piece)] < 0) continue;
+      const bool reduce = schedule.pieces[static_cast<std::size_t>(piece)].reduce;
+      for (int rank = 0; rank < num_ranks; ++rank) {
+        const std::int32_t s = slot_of(piece, rank);
+        if (s < 0 || !present(s)) continue;
+        PieceRankState out;
+        out.piece = piece;
+        out.rank = rank;
+        const double* arr = arrivals.data() + arrival_at[static_cast<std::size_t>(s)];
+        out.block_arrival.assign(arr, arr + nb_of[static_cast<std::size_t>(piece)]);
+        if (reduce) {
+          const std::uint64_t* words = contribs.data() + contrib_at[static_cast<std::size_t>(s)];
+          for (int r = 0; r < num_ranks; ++r) {
+            if ((words[static_cast<std::size_t>(r) / 64] >> (r % 64)) & 1) {
+              out.contributors.push_back(r);
+            }
+          }
+        }
+        result.final_state.push_back(std::move(out));
       }
-      result.final_state.push_back(std::move(out));
     }
-    std::sort(result.final_state.begin(), result.final_state.end(),
-              [](const PieceRankState& a, const PieceRankState& b) {
-                return std::tie(a.piece, a.rank) < std::tie(b.piece, b.rank);
-              });
   }
 
   double run_op(std::size_t idx, double phase_floor) {
     const TransferOp& op = schedule.ops[idx];
+    if (op.piece < 0 || static_cast<std::size_t>(op.piece) >= schedule.pieces.size()) {
+      throw std::invalid_argument("op references unknown piece");
+    }
+    if (op.src < 0 || op.src >= num_ranks || op.dst < 0 || op.dst >= num_ranks) {
+      throw std::invalid_argument("op rank out of range");
+    }
     const Piece& p = schedule.pieces[static_cast<std::size_t>(op.piece)];
 
     int dim = op.dim;
-    if (dim < 0) dim = groups.best_common_dim(op.src, op.dst);
-    if (dim < 0 || dim >= groups.num_dims()) {
+    if (dim < 0) {
+      dim = paths.pair_dim[static_cast<std::size_t>(op.src) *
+                               static_cast<std::size_t>(num_ranks) +
+                           static_cast<std::size_t>(op.dst)];
+    }
+    if (dim < 0 || dim >= paths.num_dims) {
       throw std::invalid_argument("op endpoints share no dimension group");
     }
-    const int g_src = groups.group_of[static_cast<std::size_t>(dim)][static_cast<std::size_t>(op.src)];
-    const int g_dst = groups.group_of[static_cast<std::size_t>(dim)][static_cast<std::size_t>(op.dst)];
-    if (g_src < 0 || g_src != g_dst) {
+    const auto* entries =
+        paths.entries.data() + static_cast<std::size_t>(dim) * static_cast<std::size_t>(num_ranks);
+    const Simulator::PathCache::Entry& e_src = entries[op.src];
+    const Simulator::PathCache::Entry& e_dst = entries[op.dst];
+    if (e_src.group < 0 || e_src.group != e_dst.group) {
       throw std::invalid_argument("op crosses groups in dimension " + std::to_string(dim));
     }
-    const topo::GroupTopology& gt = groups.group(dim, g_src);
-    const int ls = gt.local_of(op.src);
-    const int ld = gt.local_of(op.dst);
 
-    // Full physical path: src → group switch → dst.
-    std::vector<const topo::PathHop*> path;
-    for (const auto& h : gt.up_hops[static_cast<std::size_t>(ls)]) path.push_back(&h);
-    for (const auto& h : gt.down_hops[static_cast<std::size_t>(ld)]) path.push_back(&h);
-
-    PieceState& src_state = state_at(op.piece, op.src);
-    if (!src_state.present) {
+    const std::int32_t s_slot = ensure_slot(op.piece, op.src);
+    if (!present(s_slot)) {
       throw std::invalid_argument("piece " + std::to_string(op.piece) +
                                   " not available at op source rank " + std::to_string(op.src) +
                                   " (dependency inversion?)");
     }
-    // Capture source arrival times before touching dst state (the map may
-    // rehash on insertion).
-    const std::vector<double> src_arrival = src_state.block_arrival;
-    const RankSet src_contrib = src_state.contributors;
+    const std::int32_t d_slot = ensure_slot(op.piece, op.dst);
 
-    const int nb = blocks_for(p.bytes);
-    const double block_bytes = p.bytes / nb;
+    // Arena offsets survive the dst allocation above, so the source arrival
+    // times are read in place — the per-op copy is gone.
+    const double* src_arrival = arrivals.data() + arrival_at[static_cast<std::size_t>(s_slot)];
+    double* dst_arrival = arrivals.data() + arrival_at[static_cast<std::size_t>(d_slot)];
 
-    PieceState& dst_state = state_at(op.piece, op.dst);
-    if (p.reduce && dst_state.forwarded && !dst_state.contributors.contains(src_contrib)) {
+    if (p.reduce && (flags[static_cast<std::size_t>(d_slot)] & kForwarded) != 0) {
       // The destination already forwarded its partial; merging a new
       // contribution now means the copy in flight is stale — downstream
       // ranks would see a contributor set that silently grew after the
       // send. Reject, like the src-absent case, instead of leaving the
       // divergence for the final-destination demand check to maybe catch.
-      throw std::invalid_argument("stale reduce contribution: piece " + std::to_string(op.piece) +
-                                  " gains contributors at rank " + std::to_string(op.dst) +
-                                  " after that rank forwarded its partial");
+      const std::uint64_t* sc = contribs.data() + contrib_at[static_cast<std::size_t>(s_slot)];
+      const std::uint64_t* dc = contribs.data() + contrib_at[static_cast<std::size_t>(d_slot)];
+      for (int w = 0; w < contrib_words; ++w) {
+        if ((sc[w] & ~dc[w]) != 0) {
+          throw std::invalid_argument(
+              "stale reduce contribution: piece " + std::to_string(op.piece) +
+              " gains contributors at rank " + std::to_string(op.dst) +
+              " after that rank forwarded its partial");
+        }
+      }
     }
+
+    const int nb = nb_of[static_cast<std::size_t>(op.piece)];
+    const double block_bytes = p.bytes / nb;
+    const bool dst_present = present(d_slot);
+
+    // Resolve the op's hops once: timeline pointer, α, and the per-block
+    // occupancy β·b are loop-invariant across blocks, so the per-event inner
+    // loop below is pure arithmetic plus one timeline allocation.
+    hop_scratch.clear();
+    for (std::uint32_t h = e_src.up_begin; h < e_src.up_end; ++h) {
+      const topo::PathHop& hop = paths.hops[h];
+      hop_scratch.push_back({&links[static_cast<std::size_t>(hop.link_id)], hop.alpha,
+                             block_bytes * hop.beta, hop.link_id});
+    }
+    for (std::uint32_t h = e_dst.down_begin; h < e_dst.down_end; ++h) {
+      const topo::PathHop& hop = paths.hops[h];
+      hop_scratch.push_back({&links[static_cast<std::size_t>(hop.link_id)], hop.alpha,
+                             block_bytes * hop.beta, hop.link_id});
+    }
+    const ResolvedHop* hops_begin = hop_scratch.data();
+    const ResolvedHop* hops_end = hops_begin + hop_scratch.size();
+
     double finish = 0.0;
     double first_start = -1.0;
     double first_ready = phase_floor;
+    std::size_t events = 0;
     for (int b = 0; b < nb; ++b) {
       // Cut-through per hop: the block's head advances after each hop's α,
       // its tail after the slowest upstream hop drains; each directed link
       // is occupied for β·b and serialises concurrent flows.
-      const double ready = std::max(src_arrival[static_cast<std::size_t>(b)], phase_floor);
+      const double ready = std::max(src_arrival[b], phase_floor);
       if (b == 0) first_ready = ready;
       double head = ready;
       double tail = ready;
-      for (const topo::PathHop* hop : path) {
-        LinkTimeline& link = port_busy[static_cast<StateKey>(static_cast<std::uint32_t>(hop->link_id))];
-        const double occupy = block_bytes * hop->beta;
-        const double start = link.allocate(head, occupy);
+      for (const ResolvedHop* hop = hops_begin; hop != hops_end; ++hop) {
+        const double start = hop->link->allocate(head, hop->occupy);
         if (first_start < 0) first_start = start;
         head = start + hop->alpha;
-        tail = std::max(start + hop->alpha + occupy, tail + hop->alpha);
-        result.num_events++;
+        tail = std::max(start + hop->alpha + hop->occupy, tail + hop->alpha);
+        ++events;
         if (opts.record_link_events) {
           result.link_events.push_back(
-              {static_cast<int>(idx), b, hop->link_id, start, start + occupy});
+              {static_cast<int>(idx), b, hop->link_id, start, start + hop->occupy});
         }
       }
       const double arrival = tail;
-      double& slot = dst_state.block_arrival[static_cast<std::size_t>(b)];
+      double& slot = dst_arrival[b];
       if (p.reduce) {
         // Reduce: the block is usable downstream only once every inbound
         // partial arrived.
-        slot = dst_state.present ? std::max(slot, arrival) : arrival;
+        slot = dst_present ? std::max(slot, arrival) : arrival;
       } else {
         slot = std::min(slot, arrival);
       }
       finish = std::max(finish, arrival);
     }
+    result.num_events += events;
     // An op whose blocks never claimed a link slot (zero-hop path) leaves
     // first_start unset; fall back to the first block's ready time instead
     // of reporting a bogus 0.0 that would corrupt tune_issue_order's
     // start-time sort.
     result.op_start[static_cast<std::size_t>(idx)] = first_start >= 0.0 ? first_start : first_ready;
-    dst_state.present = true;
+    flags[static_cast<std::size_t>(d_slot)] |= kPresent;
     if (p.reduce) {
-      dst_state.contributors.merge(src_contrib);
-      // Re-look up the source: the dst insertion above may have rehashed
-      // the map and invalidated src_state.
-      state.find(key_of(op.piece, op.src))->second.forwarded = true;
+      std::uint64_t* dc = contribs.data() + contrib_at[static_cast<std::size_t>(d_slot)];
+      const std::uint64_t* sc = contribs.data() + contrib_at[static_cast<std::size_t>(s_slot)];
+      for (int w = 0; w < contrib_words; ++w) dc[w] |= sc[w];
+      flags[static_cast<std::size_t>(s_slot)] |= kForwarded;
     }
     return finish;
   }
 };
 
-}  // namespace
-
-Simulator::Simulator(const topo::TopologyGroups& groups, SimOptions opts)
-    : groups_(groups), opts_(opts) {
-  if (opts_.block_bytes <= 0) throw std::invalid_argument("block_bytes must be positive");
-  if (opts_.max_blocks < 1) throw std::invalid_argument("max_blocks must be >= 1");
-}
-
-SimResult Simulator::run(const Schedule& schedule) const {
-  Engine engine(groups_, opts_, schedule);
-  engine.run();
-  return engine.result;
-}
-
-double Simulator::tune_issue_order(Schedule& schedule, const coll::Collective& coll,
-                                   int passes) const {
-  double best = time_collective(schedule, coll);
-  for (int p = 0; p < passes; ++p) {
-    Engine engine(groups_, opts_, schedule);
-    engine.run();
-    std::vector<std::size_t> idx(schedule.ops.size());
-    std::iota(idx.begin(), idx.end(), std::size_t{0});
-    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-      if (schedule.ops[a].phase != schedule.ops[b].phase) {
-        return schedule.ops[a].phase < schedule.ops[b].phase;
-      }
-      return engine.result.op_start[a] < engine.result.op_start[b];
-    });
-    Schedule candidate = schedule;
-    candidate.ops.clear();
-    for (std::size_t i : idx) candidate.ops.push_back(schedule.ops[i]);
-    double t;
-    try {
-      t = time_collective(candidate, coll);
-    } catch (const std::exception&) {
-      break;  // reorder broke a dependency (shouldn't happen); keep current
-    }
-    if (t < best) {
-      best = t;
-      schedule = std::move(candidate);
-    } else {
-      break;
-    }
-  }
-  return best;
-}
-
-double Simulator::time_collective(const Schedule& schedule, const coll::Collective& coll) const {
-  Engine engine(groups_, opts_, schedule);
-  engine.run();
-
-  // Demand check: every chunk must be fully present at each destination.
-  // With chunk splitting, the distinct pieces of one chunk at a destination
-  // must cover the chunk's bytes.
+/// Demand check shared by time_collective and tune_issue_order: every chunk
+/// must be fully present at each destination. With chunk splitting, the
+/// distinct pieces of one chunk at a destination must cover the chunk's
+/// bytes. Returns the completion time of the demands.
+double demand_completion(const Engine& engine, const Schedule& schedule,
+                         const coll::Collective& coll, const DemandIndex& index) {
   double completion = 0.0;
   const double chunk_bytes = coll.chunk_bytes();
   constexpr double kEps = 1e-6;
 
-  // Index pieces by chunk.
-  std::unordered_map<int, std::vector<int>> pieces_by_chunk;
-  for (std::size_t i = 0; i < schedule.pieces.size(); ++i) {
-    pieces_by_chunk[schedule.pieces[i].chunk].push_back(static_cast<int>(i));
-  }
-
-  auto demand_time = [&](int chunk, int dst, bool reduce,
-                         const std::vector<int>* contributors) -> double {
-    const auto it = pieces_by_chunk.find(chunk);
-    if (it == pieces_by_chunk.end()) {
+  const auto demand_time = [&](int chunk, int dst, bool reduce,
+                               const std::vector<int>* contributors) -> double {
+    const auto it = index.pieces_by_chunk.find(chunk);
+    if (it == index.pieces_by_chunk.end()) {
       throw std::invalid_argument("schedule has no pieces for chunk " + std::to_string(chunk));
     }
     double covered = 0.0;
     double when = 0.0;
     for (int pid : it->second) {
-      const auto st = engine.state.find(key_of(pid, dst));
-      if (st == engine.state.end() || !st->second.present) continue;
-      if (reduce && contributors != nullptr &&
-          !st->second.contributors.contains_all(*contributors)) {
+      const std::int32_t slot = engine.slot_of(pid, dst);
+      if (slot < 0 || !engine.present(slot)) continue;
+      if (reduce && contributors != nullptr && !engine.contains_all(slot, *contributors)) {
         continue;
       }
       covered += schedule.pieces[static_cast<std::size_t>(pid)].bytes;
-      for (double t : st->second.block_arrival) when = std::max(when, t);
+      const double* arr =
+          engine.arrivals.data() + engine.arrival_at[static_cast<std::size_t>(slot)];
+      const int nb = engine.nb_of[static_cast<std::size_t>(pid)];
+      for (int b = 0; b < nb; ++b) when = std::max(when, arr[b]);
     }
     if (covered + kEps < chunk_bytes) {
       throw std::invalid_argument("demand unmet: chunk " + std::to_string(chunk) +
@@ -382,16 +469,133 @@ double Simulator::time_collective(const Schedule& schedule, const coll::Collecti
   }
 
   // Reduce collectives: block index == destination rank (see pieces_for).
-  std::unordered_map<int, std::vector<int>> contributors_by_dst;
-  for (const auto& c : coll.chunks()) {
-    for (int d : c.dsts) contributors_by_dst[d].push_back(c.src);
-  }
-  for (auto& [dst, contribs] : contributors_by_dst) {
-    contribs.push_back(dst);
-    std::sort(contribs.begin(), contribs.end());
+  for (const auto& [dst, contribs] : index.reduce_demands) {
     completion = std::max(completion, demand_time(dst, dst, true, &contribs));
   }
   return completion;
+}
+
+/// Runs fn(i) for every index — across `pool` when given, serially
+/// otherwise. Callers capture per-index failures, so fn must not throw.
+void dispatch(util::ThreadPool* pool, std::size_t count,
+              const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && count > 1) {
+    pool->parallel_for(count, fn);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
+Simulator::Simulator(const topo::TopologyGroups& groups, SimOptions opts)
+    : groups_(groups), opts_(opts), paths_(std::make_shared<const PathCache>(groups)) {
+  if (opts_.block_bytes <= 0) throw std::invalid_argument("block_bytes must be positive");
+  if (opts_.max_blocks < 1) throw std::invalid_argument("max_blocks must be >= 1");
+}
+
+SimResult Simulator::run(const Schedule& schedule) const {
+  Engine engine(groups_, opts_, schedule, *paths_);
+  engine.run();
+  return std::move(engine.result);
+}
+
+double Simulator::tune_issue_order(Schedule& schedule, const coll::Collective& coll,
+                                   int passes) const {
+  // The piece set is invariant under reordering, so one demand index serves
+  // every pass.
+  const DemandIndex index = build_demand_index(schedule, coll);
+
+  // One engine run supplies both the baseline timing and the first pass's
+  // sort keys (the old implementation simulated the same unmodified schedule
+  // twice — once for each).
+  Engine engine(groups_, opts_, schedule, *paths_);
+  engine.run();
+  double best = demand_completion(engine, schedule, coll, index);
+  std::vector<double> op_start = std::move(engine.result.op_start);
+
+  for (int p = 0; p < passes; ++p) {
+    std::vector<std::size_t> idx(schedule.ops.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      if (schedule.ops[a].phase != schedule.ops[b].phase) {
+        return schedule.ops[a].phase < schedule.ops[b].phase;
+      }
+      return op_start[a] < op_start[b];
+    });
+    Schedule candidate = schedule;
+    candidate.ops.clear();
+    for (std::size_t i : idx) candidate.ops.push_back(schedule.ops[i]);
+    double t;
+    Engine trial(groups_, opts_, candidate, *paths_);
+    try {
+      trial.run();
+      t = demand_completion(trial, candidate, coll, index);
+    } catch (const std::exception&) {
+      break;  // reorder broke a dependency (shouldn't happen); keep current
+    }
+    if (t < best) {
+      best = t;
+      schedule = std::move(candidate);
+      op_start = std::move(trial.result.op_start);
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+double Simulator::time_collective(const Schedule& schedule, const coll::Collective& coll) const {
+  Engine engine(groups_, opts_, schedule, *paths_);
+  engine.run();
+  return demand_completion(engine, schedule, coll, build_demand_index(schedule, coll));
+}
+
+std::vector<SimResult> Simulator::run_batch(std::span<const Schedule* const> schedules,
+                                            util::ThreadPool* pool) const {
+  std::vector<SimResult> results(schedules.size());
+  std::vector<std::exception_ptr> errors(schedules.size());
+  dispatch(pool, schedules.size(), [&](std::size_t i) {
+    try {
+      results[i] = run(*schedules[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  // Like the serial loop, the first failing candidate's exception wins —
+  // deterministically by index, not by completion order.
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+std::vector<BatchTiming> Simulator::time_collectives(std::span<const Schedule* const> schedules,
+                                                     const coll::Collective& coll,
+                                                     util::ThreadPool* pool) const {
+  std::vector<BatchTiming> out(schedules.size());
+  dispatch(pool, schedules.size(), [&](std::size_t i) {
+    try {
+      out[i].time = time_collective(*schedules[i], coll);
+    } catch (const std::exception& e) {
+      out[i].error = e.what()[0] != '\0' ? e.what() : "simulation failed";
+    }
+  });
+  return out;
+}
+
+std::vector<BatchTiming> Simulator::tune_issue_orders(std::span<Schedule* const> schedules,
+                                                      const coll::Collective& coll, int passes,
+                                                      util::ThreadPool* pool) const {
+  std::vector<BatchTiming> out(schedules.size());
+  dispatch(pool, schedules.size(), [&](std::size_t i) {
+    try {
+      out[i].time = tune_issue_order(*schedules[i], coll, passes);
+    } catch (const std::exception& e) {
+      out[i].error = e.what()[0] != '\0' ? e.what() : "simulation failed";
+    }
+  });
+  return out;
 }
 
 }  // namespace syccl::sim

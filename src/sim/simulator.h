@@ -5,8 +5,11 @@
 // into pipeline blocks; a block over a group link takes α + β·b seconds to
 // arrive and occupies the source's up-port and the destination's down-port
 // for β·b seconds (Hockney model, identical to the solver's §5.1 model).
-// Every event is processed exactly once, so a run costs O(#events) plus hash
-// lookups.
+// Every event is processed exactly once, so a run costs O(#events) with
+// array indexing only on the per-event path: piece state lives in a dense
+// per-piece-row arena (struct-of-arrays, no hashing), link busy intervals in
+// a dense per-link-id vector of compact timelines, and the (dim, rank) →
+// physical hop path resolution is cached once per Simulator.
 //
 // Ordering contract: ops execute per port in issue order (like MSCCL channel
 // programs). A piece must have arrived at an op's source via an earlier op
@@ -15,11 +18,19 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "coll/collective.h"
 #include "sim/schedule.h"
 #include "topo/groups.h"
+
+namespace syccl::util {
+class ThreadPool;
+}
 
 namespace syccl::sim {
 
@@ -74,10 +85,20 @@ struct SimResult {
   std::vector<LinkEvent> link_events;
 };
 
+/// Outcome of one schedule in a batched timing call. `error` is empty iff
+/// the schedule simulated cleanly and met every demand; otherwise it holds
+/// the exception text the serial API would have thrown.
+struct BatchTiming {
+  double time = std::numeric_limits<double>::infinity();
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
 /// Immutable after construction: run/time_collective/tune_issue_order are
 /// const and keep all working state on the stack, so one Simulator may rank
 /// many candidate schedules concurrently (core::Synthesizer's parallel
-/// evaluation relies on this).
+/// evaluation relies on this). Construction resolves every (dimension, rank)
+/// to its physical hop path once; all runs share that cache.
 class Simulator {
  public:
   explicit Simulator(const topo::TopologyGroups& groups, SimOptions opts = {});
@@ -98,15 +119,47 @@ class Simulator {
   /// (fixed-point of order ↔ timing) and returns the final demand completion
   /// time. Removes head-of-line blocking that a static issue order causes
   /// under per-port FIFO execution. Mutates the schedule's op order only.
+  /// Runs exactly one simulation per pass (plus one up front): the engine
+  /// result supplies both the sort keys and the timing.
   double tune_issue_order(Schedule& schedule, const coll::Collective& coll,
                           int passes = 2) const;
+
+  // ---- Batched multi-candidate simulation. All batch calls reuse this
+  // Simulator's topology/path caches and, when `pool` is non-null, fan the
+  // candidates across it. Results are byte-identical to the equivalent
+  // serial loop regardless of pool size (each candidate's simulation is
+  // deterministic and independent); outputs are written by candidate index.
+
+  /// run() over every schedule. On error the first failing index's exception
+  /// is rethrown (after all candidates finished), like a serial loop would.
+  std::vector<SimResult> run_batch(std::span<const Schedule* const> schedules,
+                                   util::ThreadPool* pool = nullptr) const;
+
+  /// time_collective() over every schedule against one collective.
+  /// Per-candidate failures are captured in BatchTiming::error instead of
+  /// thrown, so one malformed candidate cannot mask the others' timings.
+  std::vector<BatchTiming> time_collectives(std::span<const Schedule* const> schedules,
+                                            const coll::Collective& coll,
+                                            util::ThreadPool* pool = nullptr) const;
+
+  /// tune_issue_order() over every schedule (mutating each in place).
+  /// Failures are captured per candidate like time_collectives().
+  std::vector<BatchTiming> tune_issue_orders(std::span<Schedule* const> schedules,
+                                             const coll::Collective& coll, int passes = 2,
+                                             util::ThreadPool* pool = nullptr) const;
 
   const topo::TopologyGroups& groups() const { return groups_; }
   const SimOptions& options() const { return opts_; }
 
+  /// Resolved physical-path cache, shared by every engine run. Internal to
+  /// src/sim (definition in simulator.cpp); exposed only as an opaque type.
+  struct PathCache;
+
  private:
   const topo::TopologyGroups& groups_;
   SimOptions opts_;
+  /// shared_ptr keeps Simulator cheaply copyable; the cache is immutable.
+  std::shared_ptr<const PathCache> paths_;
 };
 
 }  // namespace syccl::sim

@@ -3,7 +3,11 @@
 // asymptotics, not results), so the merge behaviour is pinned here.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <map>
+#include <random>
 
 #include "sim/link_timeline.h"
 
@@ -77,6 +81,132 @@ TEST(LinkTimeline, MergeKeepsTinyAbsoluteFloorNearZero) {
   tl.allocate(0.0, 1e-9);
   tl.allocate(1e-9, 1e-9);
   EXPECT_EQ(tl.num_intervals(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential property test: the production sorted-vector timeline against a
+// verbatim copy of the original std::map implementation. The two must agree
+// bit-for-bit on every returned start time and on the merged interval count —
+// the vector rewrite is a layout change, not a policy change.
+
+/// The pre-rewrite map-backed timeline, kept test-only as the reference.
+class MapTimeline {
+ public:
+  double allocate(double ready, double dur) {
+    if (dur <= 0) return ready;
+    double t = ready;
+    auto it = intervals_.upper_bound(t);
+    if (it != intervals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > t) t = prev->second;
+    }
+    while (it != intervals_.end() && it->first < t + dur) {
+      t = std::max(t, it->second);
+      ++it;
+    }
+    double lo = t;
+    double hi = t + dur;
+    auto next = intervals_.lower_bound(lo);
+    if (next != intervals_.begin()) {
+      auto prev = std::prev(next);
+      if (touches(prev->second, lo)) {
+        lo = prev->first;
+        hi = std::max(hi, prev->second);
+        next = intervals_.erase(prev);
+      }
+    }
+    while (next != intervals_.end() && touches(hi, next->first)) {
+      hi = std::max(hi, next->second);
+      next = intervals_.erase(next);
+    }
+    intervals_.emplace(lo, hi);
+    return t;
+  }
+
+  std::size_t num_intervals() const { return intervals_.size(); }
+
+ private:
+  static double touch_tolerance(double a, double b) {
+    constexpr double kUlps = 4.0;
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::max(1e-18, kUlps * std::numeric_limits<double>::epsilon() * scale);
+  }
+  static bool touches(double earlier_end, double later_start) {
+    return earlier_end >= later_start - touch_tolerance(earlier_end, later_start);
+  }
+
+  std::map<double, double> intervals_;  // start -> end
+};
+
+TEST(LinkTimelineProperty, MatchesMapReferenceOnRandomSequences) {
+  std::mt19937_64 rng(20260808);
+  // Time scales from nanoseconds to kiloseconds: the merge tolerance is
+  // relative, so every magnitude band exercises a different tolerance.
+  const double scales[] = {1e-9, 1e-6, 1e-3, 1.0, 1e3};
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> kind(0, 9);
+
+  std::size_t total_allocations = 0;
+  for (int seq = 0; seq < 250; ++seq) {
+    const double scale = scales[static_cast<std::size_t>(seq) % std::size(scales)];
+    LinkTimeline vec;
+    MapTimeline ref;
+    double prev_end = 0.0;
+    for (int i = 0; i < 40; ++i) {
+      double ready;
+      double dur = unit(rng) * scale;
+      switch (kind(rng)) {
+        case 0:  // exact touch: ready at the previous allocation's end
+          ready = prev_end;
+          break;
+        case 1:  // one ulp past the previous end — the fragmentation case
+          ready = std::nextafter(prev_end, std::numeric_limits<double>::infinity());
+          break;
+        case 2:  // one ulp before the previous end
+          ready = std::nextafter(prev_end, -std::numeric_limits<double>::infinity());
+          break;
+        case 3:  // far in the past: fills gaps or serialises from the front
+          ready = 0.0;
+          break;
+        case 4:  // zero duration claims no slot
+          ready = unit(rng) * 8.0 * scale;
+          dur = 0.0;
+          break;
+        case 5:  // tiny sliver, ulp-scale duration
+          ready = unit(rng) * 8.0 * scale;
+          dur = scale * std::numeric_limits<double>::epsilon() * unit(rng);
+          break;
+        default:  // generic random request
+          ready = unit(rng) * 8.0 * scale;
+          break;
+      }
+      const double got = vec.allocate(ready, dur);
+      const double want = ref.allocate(ready, dur);
+      ASSERT_EQ(got, want) << "seq " << seq << " step " << i << " ready " << ready << " dur "
+                           << dur;
+      ASSERT_EQ(vec.num_intervals(), ref.num_intervals())
+          << "seq " << seq << " step " << i;
+      prev_end = got + std::max(dur, 0.0);
+      ++total_allocations;
+    }
+  }
+  EXPECT_GE(total_allocations, 10000u);
+}
+
+TEST(LinkTimelineProperty, ResetKeepsBehaviourIdentical) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  LinkTimeline vec;
+  for (int round = 0; round < 4; ++round) {
+    MapTimeline ref;  // fresh reference each round; vec is reset instead
+    vec.reset();
+    ASSERT_EQ(vec.num_intervals(), 0u);
+    for (int i = 0; i < 64; ++i) {
+      const double ready = unit(rng) * 4.0;
+      const double dur = unit(rng) * 0.5;
+      ASSERT_EQ(vec.allocate(ready, dur), ref.allocate(ready, dur)) << "round " << round;
+    }
+  }
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "fuzz/differential.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -134,6 +135,7 @@ int main(int argc, char** argv) {
   std::uint64_t schedules = 0;
   std::uint64_t events = 0;
   bool trace_written = false;
+  const syccl::util::Stopwatch clock;
   for (const Job& job : jobs) {
     syccl::fuzz::CaseOptions opts;
     opts.with_synthesizer = job.with_synth;
@@ -167,7 +169,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  const double elapsed = clock.elapsed_seconds();
   std::cout << "fuzz_schedules: " << jobs.size() << " cases, " << schedules << " schedules, "
             << events << " simulated events, " << failed_cases << " failures\n";
+  // Throughput over the whole differential loop (generation + production
+  // simulator + oracle + comparison) — a coarse end-to-end trend line; the
+  // engine-only number is bench_sim's job.
+  std::cout << "fuzz_schedules: throughput "
+            << static_cast<std::uint64_t>(elapsed > 0 ? events / elapsed : 0)
+            << " events/sec over " << elapsed << " s\n";
   return failed_cases == 0 ? 0 : 1;
 }
