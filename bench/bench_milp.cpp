@@ -12,17 +12,35 @@
 //
 // The node re-solve throughput ratio cold_s/warm_s is the tentpole metric;
 // a full branch-and-bound run with use_warm_start on/off is also reported.
+//
+// A second section replays congested sub-demands derived from the pinned
+// fuzz corpus (tests/corpus/seeds.txt, path as argv[1]) through
+// solve_sub_demand with multi-commodity flow bounds on and off. The winning
+// schedules must be byte-identical either way; on the congested half of the
+// corpus (most nodes explored without flow bounds) the median
+// nodes-explored reduction must be ≥2×, or the median wall-time reduction
+// ≥1.5×. A final ungated section reports the optimality gap of full
+// synthesis against baselines::flow_lower_bound on paper topologies.
+//
 // Output: one JSON line on stdout and in BENCH_milp.json. Registered under
 // the ctest configuration/label `perf`; the gate fails unless the median
-// warm throughput is ≥3× cold.
+// warm throughput is ≥3× cold and the flow section passes.
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "baselines/flow_bound.h"
 #include "bench_util.h"
+#include "coll/collective.h"
+#include "core/synthesizer.h"
 #include "lp/simplex.h"
 #include "lp/simplex_solver.h"
 #include "milp/branch_and_bound.h"
@@ -200,9 +218,125 @@ CaseResult run_case(const std::string& name, const solver::SubDemandEncoding& en
   return res;
 }
 
+std::vector<std::uint64_t> load_corpus(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::uint64_t> seeds;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string token;
+    if (ls >> token) seeds.push_back(std::stoull(token, nullptr, 0));
+  }
+  return seeds;
+}
+
+/// One corpus-derived flow A/B case. Owns its topology so the SubDemand's
+/// group pointer stays valid for the case's lifetime.
+struct FlowCase {
+  std::string name;
+  topo::Topology topo;
+  topo::TopologyGroups groups;
+  solver::SubDemand demand;
+  long nodes_on = 0;
+  long nodes_off = 0;
+  long flow_prunes = 0;
+  double on_s = 0.0;
+  double off_s = 0.0;
+  bool identical = false;
+
+  FlowCase(std::string n, int size)
+      : name(std::move(n)),
+        topo(topo::build_single_server(size, {1e-6, 1e9})),
+        groups(topo::extract_groups(topo)) {
+    demand.group = &groups.dims[0].groups[0];
+  }
+};
+
+/// Expands a corpus seed into a congested alltoall-like sub-demand: every
+/// rank sources a piece demanded by most others, occasionally merged with a
+/// second source — the shape that makes the epoch MILP branch hardest.
+/// `index` perturbs piece_bytes so no two cases collide in the solve cache.
+std::unique_ptr<FlowCase> flow_case_of(std::uint64_t seed, std::size_t index) {
+  util::Rng rng(seed);
+  const int n = 4 + static_cast<int>(rng.next_below(2));  // 4–5 members
+  auto fc = std::make_unique<FlowCase>("seed_" + std::to_string(seed), n);
+  fc->demand.piece_bytes = static_cast<double>(1 << 20) + 4096.0 * static_cast<double>(index);
+  for (int r = 0; r < n; ++r) {
+    solver::DemandPiece p;
+    p.srcs = {r};
+    if (rng.next_below(4) == 0) p.srcs.push_back((r + 1) % n);
+    for (int m = 0; m < n; ++m) {
+      bool is_src = false;
+      for (int s : p.srcs) is_src = is_src || s == m;
+      if (!is_src && rng.next_below(4) != 0) p.dsts.push_back(m);
+    }
+    if (p.dsts.empty()) continue;
+    // Ids are positional everywhere in the solver (core/subdemand.cpp keeps
+    // id == index), so number after the empty-dst filter, not before.
+    p.id = static_cast<int>(fc->demand.pieces.size());
+    fc->demand.pieces.push_back(std::move(p));
+  }
+  return fc;
+}
+
+/// Solves the case with flow bounds off then on (generous limits so both
+/// prove optimality) and byte-compares the winning schedules.
+void run_flow_case(FlowCase& fc) {
+  solver::MilpSchedulerOptions off;
+  off.max_binaries = 4000;
+  off.node_limit = 400000;
+  off.time_limit_s = 30.0;
+  off.use_flow_bounds = false;
+  solver::MilpSchedulerOptions on = off;
+  on.use_flow_bounds = true;
+
+  util::Stopwatch clock;
+  solver::SolveStats stats_off;
+  const solver::SubSchedule b = solver::solve_sub_demand(fc.demand, off, &stats_off);
+  fc.off_s = clock.elapsed_seconds();
+  clock.reset();
+  solver::SolveStats stats_on;
+  const solver::SubSchedule a = solver::solve_sub_demand(fc.demand, on, &stats_on);
+  fc.on_s = clock.elapsed_seconds();
+
+  fc.nodes_on = stats_on.nodes_explored;
+  fc.nodes_off = stats_off.nodes_explored;
+  fc.flow_prunes = stats_on.flow_prunes;
+  fc.identical =
+      a.num_epochs == b.num_epochs && a.ops.size() == b.ops.size() &&
+      (a.ops.empty() ||
+       std::memcmp(a.ops.data(), b.ops.data(), a.ops.size() * sizeof(solver::SubOp)) == 0);
+}
+
+/// Optimality gap of end-to-end synthesis against the global flow lower
+/// bound (reported, not gated: the gap measures synthesis quality and the
+/// bound's own slack, not this bench's regression surface).
+struct GapCase {
+  std::string name;
+  double predicted_s = 0.0;
+  double flow_bound_s = 0.0;
+  double gap = 0.0;  ///< predicted / bound − 1
+};
+
+GapCase run_gap_case(const std::string& name, const topo::Topology& topo,
+                     const coll::Collective& coll) {
+  GapCase g;
+  g.name = name;
+  core::SynthesisConfig cfg;
+  cfg.coarse_solver.time_limit_s = 0.5;
+  cfg.fine_solver.time_limit_s = 1.0;
+  core::Synthesizer synth(topo, cfg);
+  g.predicted_s = synth.synthesize(coll).predicted_time;
+  g.flow_bound_s = baselines::flow_lower_bound(coll, topo).seconds;
+  g.gap = g.flow_bound_s > 0.0 ? g.predicted_s / g.flow_bound_s - 1.0 : 0.0;
+  return g;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // Group sizes stay inside the production MILP gate (solve_sub_demand skips
   // encodings past max_binaries = 500), so these are the encodings the tree
   // search actually re-solves.
@@ -252,8 +386,88 @@ int main() {
   }
   const double med = median(ratios);
   char tail[128];
-  std::snprintf(tail, sizeof(tail), "],\"median_ratio\":%.2f}", med);
+  std::snprintf(tail, sizeof(tail), "],\"median_ratio\":%.2f", med);
   json += tail;
+
+  // Flow on/off corpus replay.
+  const std::string corpus_path = argc > 1 ? argv[1] : "tests/corpus/seeds.txt";
+  std::vector<std::uint64_t> seeds = load_corpus(corpus_path);
+  if (seeds.empty()) {
+    std::fprintf(stderr, "bench_milp: no corpus at %s, using fixed seeds\n", corpus_path.c_str());
+    for (std::uint64_t s = 1; s <= 12; ++s) seeds.push_back(s);
+  }
+  if (seeds.size() > 16) seeds.resize(16);
+
+  std::vector<std::unique_ptr<FlowCase>> flow_cases;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    auto fc = flow_case_of(seeds[i], i);
+    if (fc->demand.pieces.empty()) continue;
+    run_flow_case(*fc);
+    std::printf("flow %s: %ld nodes off / %ld on (%ld flow prunes), "
+                "%.3fs off / %.3fs on, identical=%d\n",
+                fc->name.c_str(), fc->nodes_off, fc->nodes_on, fc->flow_prunes, fc->off_s,
+                fc->on_s, fc->identical ? 1 : 0);
+    flow_cases.push_back(std::move(fc));
+  }
+
+  // The congested half: the cases the plain branch and bound worked hardest
+  // on. Ratios are medians over this subset (the ISSUE's gate population).
+  std::vector<FlowCase*> congested;
+  for (auto& fc : flow_cases) congested.push_back(fc.get());
+  std::sort(congested.begin(), congested.end(),
+            [](const FlowCase* a, const FlowCase* b) { return a->nodes_off > b->nodes_off; });
+  if (congested.size() > 1) congested.resize((congested.size() + 1) / 2);
+
+  bool flow_identical = true;
+  std::vector<double> node_ratios, time_ratios;
+  for (const auto& fc : flow_cases) flow_identical = flow_identical && fc->identical;
+  for (const FlowCase* fc : congested) {
+    node_ratios.push_back(static_cast<double>(fc->nodes_off + 1) /
+                          static_cast<double>(fc->nodes_on + 1));
+    time_ratios.push_back(fc->off_s > 0 && fc->on_s > 0 ? fc->off_s / fc->on_s : 1.0);
+  }
+  const double node_ratio = node_ratios.empty() ? 0.0 : median(node_ratios);
+  const double time_ratio = time_ratios.empty() ? 0.0 : median(time_ratios);
+
+  json += ",\"flow_cases\":[";
+  for (std::size_t i = 0; i < flow_cases.size(); ++i) {
+    const FlowCase& fc = *flow_cases[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"nodes_off\":%ld,\"nodes_on\":%ld,"
+                  "\"flow_prunes\":%ld,\"off_s\":%.6f,\"on_s\":%.6f,\"identical\":%s}",
+                  i ? "," : "", fc.name.c_str(), fc.nodes_off, fc.nodes_on, fc.flow_prunes,
+                  fc.off_s, fc.on_s, fc.identical ? "true" : "false");
+    json += buf;
+  }
+  {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "],\"flow_median_node_ratio\":%.2f,\"flow_median_time_ratio\":%.2f,"
+                  "\"flow_identical\":%s",
+                  node_ratio, time_ratio, flow_identical ? "true" : "false");
+    json += buf;
+  }
+
+  // Optimality gap of full synthesis vs the global flow lower bound on the
+  // paper's single-server testbed shapes (reported for EXPERIMENTS.md).
+  std::vector<GapCase> gaps;
+  gaps.push_back(run_gap_case("allgather_8", t8, coll::make_allgather(8, 1 << 22)));
+  gaps.push_back(run_gap_case("allreduce_4", t4, coll::make_allreduce(4, 1 << 22)));
+  json += ",\"flow_gap\":[";
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"predicted_s\":%.6g,\"flow_bound_s\":%.6g,"
+                  "\"gap\":%.3f}",
+                  i ? "," : "", gaps[i].name.c_str(), gaps[i].predicted_s, gaps[i].flow_bound_s,
+                  gaps[i].gap);
+    json += buf;
+    std::printf("gap %s: predicted %.6gs vs flow bound %.6gs (gap %.1f%%)\n",
+                gaps[i].name.c_str(), gaps[i].predicted_s, gaps[i].flow_bound_s,
+                gaps[i].gap * 100.0);
+  }
+  json += "]}";
   benchutil::emit_json("milp", json);
 
   if (mismatches > 0) {
@@ -263,6 +477,19 @@ int main() {
   // Acceptance gate: warm node re-solve throughput ≥3× cold (median case).
   if (med < 3.0) {
     std::fprintf(stderr, "FAIL: median warm/cold re-solve ratio %.2fx < 3x\n", med);
+    return 1;
+  }
+  // Flow gates: byte-identical schedules always; on the congested subset a
+  // median ≥2× nodes-explored reduction (or ≥1.5× wall-time reduction).
+  if (!flow_identical) {
+    std::fprintf(stderr, "FAIL: flow on/off winning schedules differ\n");
+    return 1;
+  }
+  if (node_ratio < 2.0 && time_ratio < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: flow bounds won neither gate — median node ratio %.2fx < 2x "
+                 "and median time ratio %.2fx < 1.5x\n",
+                 node_ratio, time_ratio);
     return 1;
   }
   return 0;

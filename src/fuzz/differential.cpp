@@ -181,6 +181,10 @@ CaseResult run_differential_case(std::uint64_t seed, const CaseOptions& options)
     cfg.coarse_solver.time_limit_s = 0.05;
     cfg.fine_solver.time_limit_s = 0.1;
     cfg.num_threads = 2;
+    // Seed-parity toggle so the `--synth-every` sweep exercises both the
+    // flow-bounded and the plain branch-and-bound solver paths.
+    cfg.coarse_solver.use_flow_bounds = seed % 2 == 0;
+    cfg.fine_solver.use_flow_bounds = seed % 2 == 0;
     core::Synthesizer synth(rt.topo, cfg);
     try {
       const auto result = synth.synthesize(coll);

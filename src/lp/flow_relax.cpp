@@ -1,0 +1,278 @@
+#include "lp/flow_relax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace syccl::lp {
+
+FlowRelaxation::FlowRelaxation(const solver::SubDemand& demand, const solver::EpochParams& ep,
+                               int horizon, const FlowVarMap& map, double send_cost)
+    : ep_(ep), horizon_(horizon), send_cost_(send_cost), done_vars_(map.done_vars) {
+  const topo::GroupTopology& g = *demand.group;
+  group_size_ = g.size();
+  const int np = static_cast<int>(demand.pieces.size());
+  pieces_.resize(static_cast<std::size_t>(np));
+  for (int p = 0; p < np; ++p) {
+    const solver::DemandPiece& dp = demand.pieces[static_cast<std::size_t>(p)];
+    PieceInfo& pi = pieces_[static_cast<std::size_t>(p)];
+    pi.is_src.assign(static_cast<std::size_t>(group_size_), 0);
+    for (int s : dp.srcs) pi.is_src[static_cast<std::size_t>(s)] = 1;
+    std::set<int> req;
+    for (int d : dp.dsts) {
+      if (pi.is_src[static_cast<std::size_t>(d)] == 0) req.insert(d);
+    }
+    pi.required.assign(req.begin(), req.end());
+    num_commodities_ += static_cast<int>(pi.required.size());
+    pi.in_arcs.assign(static_cast<std::size_t>(group_size_), {});
+    pi.out_arcs.assign(static_cast<std::size_t>(group_size_), {});
+  }
+
+  arcs_.reserve(map.arcs.size());
+  for (const FlowVarMap::Arc& a : map.arcs) {
+    if (a.x_vars.empty()) continue;  // horizon below latency: no sends exist
+    const int id = static_cast<int>(arcs_.size());
+    arcs_.push_back(ArcInfo{a.piece, a.from, a.to, a.x_vars, -1});
+    PieceInfo& pi = pieces_[static_cast<std::size_t>(a.piece)];
+    pi.arc_ids.push_back(id);
+    pi.in_arcs[static_cast<std::size_t>(a.to)].push_back(id);
+    pi.out_arcs[static_cast<std::size_t>(a.from)].push_back(id);
+  }
+  // Commodity elision: pieces every destination of which is already a source
+  // contribute no commodities and no LP arcs (their forced sends still count
+  // into F_min below).
+  for (ArcInfo& arc : arcs_) {
+    if (!pieces_[static_cast<std::size_t>(arc.piece)].required.empty()) {
+      arc.lp_col = num_lp_arcs_++;
+    }
+  }
+  depth_.assign(static_cast<std::size_t>(group_size_), -1);
+  if (num_commodities_ == 0) return;  // combinatorial bound only, no LP
+
+  // Fixed constraint matrix: s columns [0, A), u columns [A, 2A), then z.
+  // Bounds set per resolve; the ones given here are placeholders.
+  Problem pb;
+  const int A = num_lp_arcs_;
+  for (int c = 0; c < A; ++c) pb.add_var(0.0, kInf, 0.0);  // s_a
+  for (int c = 0; c < A; ++c) pb.add_var(0.0, 1.0, 0.0);   // u_a
+  z_col_ = pb.add_var(0.0, kInf, 1.0);                     // minimize z
+
+  // u_a ≤ s_a: useful flow is part of the sends the box allows.
+  for (const ArcInfo& arc : arcs_) {
+    if (arc.lp_col < 0) continue;
+    pb.add_constraint({{{A + arc.lp_col, 1.0}, {arc.lp_col, -1.0}}, Relation::LessEq, 0.0});
+  }
+  // Indegree: every required (piece, destination) receives at least once.
+  for (const PieceInfo& pi : pieces_) {
+    for (int d : pi.required) {
+      Constraint c;
+      for (int id : pi.in_arcs[static_cast<std::size_t>(d)]) {
+        const int col = arcs_[static_cast<std::size_t>(id)].lp_col;
+        if (col >= 0) c.terms.push_back({A + col, 1.0});
+      }
+      if (c.terms.empty()) {
+        static_infeasible_ = true;  // nothing can ever reach d
+        return;
+      }
+      c.rel = Relation::GreaterEq;
+      c.rhs = 1.0;
+      pb.add_constraint(std::move(c));
+    }
+  }
+  // Relay gating: a non-source sender forwards at most what it received.
+  for (const ArcInfo& arc : arcs_) {
+    if (arc.lp_col < 0) continue;
+    const PieceInfo& pi = pieces_[static_cast<std::size_t>(arc.piece)];
+    if (pi.is_src[static_cast<std::size_t>(arc.from)] != 0) continue;
+    Constraint c;
+    c.terms.push_back({A + arc.lp_col, 1.0});
+    for (int id : pi.in_arcs[static_cast<std::size_t>(arc.from)]) {
+      const int col = arcs_[static_cast<std::size_t>(id)].lp_col;
+      if (col >= 0) c.terms.push_back({A + col, -1.0});
+    }
+    c.rel = Relation::LessEq;
+    c.rhs = 0.0;
+    pb.add_constraint(std::move(c));
+  }
+  // Port rows. A send from i uses i's up port, a send to j uses j's down
+  // port; a port starts at most C sends per O epochs. Useful sends all start
+  // by z − L (their arrivals define completion); all sends fit the horizon.
+  const double rate = static_cast<double>(ep.occupancy) / static_cast<double>(ep.capacity);
+  std::map<std::pair<int, int>, std::vector<int>> port_arcs;  // (port_id, dir) → lp cols
+  for (const ArcInfo& arc : arcs_) {
+    if (arc.lp_col < 0) continue;
+    port_arcs[{g.up[static_cast<std::size_t>(arc.from)].port_id, 0}].push_back(arc.lp_col);
+    port_arcs[{g.down[static_cast<std::size_t>(arc.to)].port_id, 1}].push_back(arc.lp_col);
+  }
+  for (const auto& [port, cols] : port_arcs) {
+    (void)port;
+    Constraint useful;
+    for (int c : cols) useful.terms.push_back({A + c, rate});
+    useful.terms.push_back({z_col_, -1.0});
+    useful.rel = Relation::LessEq;
+    useful.rhs = static_cast<double>(ep.occupancy - ep.lat_epochs);
+    pb.add_constraint(std::move(useful));
+
+    Constraint total;
+    for (int c : cols) total.terms.push_back({c, rate});
+    total.rel = Relation::LessEq;
+    total.rhs = static_cast<double>(horizon - ep.lat_epochs + ep.occupancy);
+    pb.add_constraint(std::move(total));
+  }
+
+  solver_ = std::make_unique<SimplexSolver>(pb);
+  lo_.assign(static_cast<std::size_t>(pb.num_vars), 0.0);
+  hi_.assign(static_cast<std::size_t>(pb.num_vars), 0.0);
+}
+
+milp::DualBoundProvider::Result FlowRelaxation::root_bound(const std::vector<double>& lower,
+                                                           const std::vector<double>& upper) {
+  return bound_impl(lower, upper, "flow.root_bound");
+}
+
+milp::DualBoundProvider::Result FlowRelaxation::node_bound(const std::vector<double>& lower,
+                                                           const std::vector<double>& upper) {
+  return bound_impl(lower, upper, "flow.node_bound");
+}
+
+milp::DualBoundProvider::Result FlowRelaxation::bound_impl(const std::vector<double>& lower,
+                                                           const std::vector<double>& upper,
+                                                           const char* span_name) {
+  SYCCL_TRACE_SPAN(span, span_name, "flow");
+  Result out;
+  if (static_infeasible_) {
+    out.infeasible = true;
+    return out;
+  }
+
+  // Per-arc forced (Σ lower) and available (Σ upper) send counts from the
+  // node's x-variable box. Integer boxes only ever hold 0/1 bounds here.
+  const int na = static_cast<int>(arcs_.size());
+  arc_lo_.assign(static_cast<std::size_t>(na), 0);
+  arc_hi_.assign(static_cast<std::size_t>(na), 0);
+  for (int a = 0; a < na; ++a) {
+    long flo = 0, fhi = 0;
+    for (int v : arcs_[static_cast<std::size_t>(a)].x_vars) {
+      if (lower[static_cast<std::size_t>(v)] > 0.5) ++flo;
+      if (upper[static_cast<std::size_t>(v)] > 0.5) ++fhi;
+    }
+    arc_lo_[static_cast<std::size_t>(a)] = flo;
+    arc_hi_[static_cast<std::size_t>(a)] = fhi;
+  }
+
+  // F_min: per piece, the larger of required deliveries (each destination
+  // needs its own inbound send — no multicast in the port model) and sends
+  // the box already forces; summed over pieces this lower-bounds Σx.
+  long fmin = 0;
+  for (const PieceInfo& pi : pieces_) {
+    long forced = 0;
+    for (int id : pi.arc_ids) forced += arc_lo_[static_cast<std::size_t>(id)];
+    fmin += std::max<long>(forced, static_cast<long>(pi.required.size()));
+  }
+
+  // MILP objective = send_cost·Σx − Σ_t done_t; done_t can only be 1 when
+  // every delivery has landed by t (epochs ≥ the flow completion bound Z)
+  // and branching has not fixed it to 0.
+  const auto finish = [&](long z_floor) -> Result {
+    long cnt = 0;
+    for (int t = 1; t <= horizon_; ++t) {
+      if (t >= z_floor && upper[static_cast<std::size_t>(done_vars_[static_cast<std::size_t>(t - 1)])] > 0.5) {
+        ++cnt;
+      }
+    }
+    out.bound = send_cost_ * static_cast<double>(fmin) - static_cast<double>(cnt);
+    span.annotate("bound", out.bound);
+    return out;
+  };
+  if (num_commodities_ == 0) return finish(0);
+
+  // Reachability sweep over arcs the box still allows: a required destination
+  // no open arc chain reaches is undeliverable (the box is integer-
+  // infeasible, since has[p][d][T] is pinned to 1), and a forced send from an
+  // unreachable non-source can never be backed by an arrival. Depths feed
+  // the z floor: a destination k hops out arrives no earlier than k·L.
+  long z_lo = ep_.lat_epochs;
+  for (const PieceInfo& pi : pieces_) {
+    if (pi.required.empty()) continue;
+    std::fill(depth_.begin(), depth_.end(), -1);
+    bfs_queue_.clear();
+    for (int m = 0; m < group_size_; ++m) {
+      if (pi.is_src[static_cast<std::size_t>(m)] != 0) {
+        depth_[static_cast<std::size_t>(m)] = 0;
+        bfs_queue_.push_back(m);
+      }
+    }
+    for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+      const int v = bfs_queue_[head];
+      for (int id : pi.out_arcs[static_cast<std::size_t>(v)]) {
+        if (arc_hi_[static_cast<std::size_t>(id)] == 0) continue;
+        const int to = arcs_[static_cast<std::size_t>(id)].to;
+        if (depth_[static_cast<std::size_t>(to)] >= 0) continue;
+        depth_[static_cast<std::size_t>(to)] = depth_[static_cast<std::size_t>(v)] + 1;
+        bfs_queue_.push_back(to);
+      }
+    }
+    for (int d : pi.required) {
+      const int dep = depth_[static_cast<std::size_t>(d)];
+      if (dep < 0) {
+        out.infeasible = true;
+        return out;
+      }
+      z_lo = std::max(z_lo, static_cast<long>(dep) * ep_.lat_epochs);
+    }
+    for (int id : pi.arc_ids) {
+      const ArcInfo& arc = arcs_[static_cast<std::size_t>(id)];
+      if (arc_lo_[static_cast<std::size_t>(id)] > 0 &&
+          pi.is_src[static_cast<std::size_t>(arc.from)] == 0 &&
+          depth_[static_cast<std::size_t>(arc.from)] < 0) {
+        out.infeasible = true;  // forced send with nothing to send
+        return out;
+      }
+    }
+  }
+  // done_t fixed to 1 asserts completion by t.
+  long z_hi = horizon_;
+  for (int t = 1; t <= horizon_; ++t) {
+    if (lower[static_cast<std::size_t>(done_vars_[static_cast<std::size_t>(t - 1)])] > 0.5) {
+      z_hi = t;
+      break;
+    }
+  }
+  if (z_lo > z_hi) {
+    out.infeasible = true;  // completion forced earlier than any path allows
+    return out;
+  }
+
+  const int A = num_lp_arcs_;
+  for (const ArcInfo& arc : arcs_) {
+    if (arc.lp_col < 0) continue;
+    const std::size_t a = static_cast<std::size_t>(&arc - arcs_.data());
+    lo_[static_cast<std::size_t>(arc.lp_col)] = static_cast<double>(arc_lo_[a]);
+    hi_[static_cast<std::size_t>(arc.lp_col)] = static_cast<double>(arc_hi_[a]);
+    lo_[static_cast<std::size_t>(A + arc.lp_col)] = 0.0;
+    hi_[static_cast<std::size_t>(A + arc.lp_col)] = std::min(1.0, static_cast<double>(arc_hi_[a]));
+  }
+  lo_[static_cast<std::size_t>(z_col_)] = static_cast<double>(z_lo);
+  hi_[static_cast<std::size_t>(z_col_)] = static_cast<double>(z_hi);
+
+  const Basis* hint = last_basis_.basic.empty() ? nullptr : &last_basis_;
+  const Solution sol = solver_->resolve(lo_, hi_, 4000, 0.0, hint);
+  out.lp_iterations = sol.iterations;
+  span.annotate("lp_iterations", static_cast<double>(sol.iterations));
+  if (sol.status == Status::Infeasible) {
+    out.infeasible = true;
+    return out;
+  }
+  long z_floor = z_lo;  // limit/unbounded statuses fall back to the BFS floor
+  if (sol.status == Status::Optimal) {
+    last_basis_ = solver_->basis();
+    z_floor = std::max(z_lo, std::lround(std::ceil(sol.objective - 1e-6)));
+  }
+  return finish(z_floor);
+}
+
+}  // namespace syccl::lp

@@ -1,0 +1,125 @@
+// Multi-commodity flow relaxation of the epoch-MILP (ROADMAP item 3).
+//
+// The epoch encoding's LP relaxation bounds the branch and bound weakly on
+// congested instances: fractional `has` variables let a piece "leak" to every
+// destination at once, so the LP believes in finish times no port schedule
+// can realise. Following the multi-commodity-flow view of collective
+// scheduling ("Rethinking ML Collective Communication as a Multi-Commodity
+// Flow Problem", PAPERS.md), this module projects the time-expanded MILP
+// onto a *static* flow network — one node per group member, one arc per
+// (piece, sender, receiver) family of x variables — and bounds the finish
+// epoch by how fast the required deliveries can cross the port capacities,
+// ignoring *when* individual sends happen.
+//
+// Per arc the LP carries two variables: s_a = total sends on the arc
+// (bounded by the branch node's x-variable box, so branching tightens the
+// relaxation) and u_a ∈ [0,1] = "useful" flow, the sub-flow that actually
+// delivers pieces (u_a ≤ s_a). Rows:
+//   * indegree:  Σ_in u ≥ 1 per required (piece, destination) commodity;
+//   * gating:    u_a ≤ Σ u into the sender, for senders that are not
+//                sources (a relay must receive before it forwards);
+//   * port:      (O/C)·Σ_port u − z ≤ O − L per (port, direction): useful
+//                sends all start by epoch z − L and a port starts at most C
+//                sends per O epochs;
+//   * horizon:   (O/C)·Σ_port s ≤ T − L + O: *all* sends, useful or not,
+//                must fit before the horizon (catches over-forced boxes);
+// minimising z, the completion epoch. The constraint matrix and rhs never
+// change across branch nodes — only variable bounds do — so one
+// lp::SimplexSolver instance re-solves the relaxation warm along the whole
+// branch tree, exactly like the node LPs themselves (PR 2).
+//
+// The MILP-objective bound returned is send_cost·F_min − Σ_t [t ≥ Z and
+// done_t free], where F_min counts unavoidable sends (per piece: required
+// deliveries vs. branching-forced sends, whichever is larger) and
+// Z = ⌈z*⌉ is the flow completion bound; epochs whose done variable is
+// fixed to 0 by branching drop out of the sum on their own. A per-call BFS
+// over the arcs still open in the box supplies reachability (disconnected
+// required destination ⇒ the box is integer-infeasible, never a finite
+// bound) and a hop-depth floor z ≥ L·depth.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lp/simplex_solver.h"
+#include "milp/branch_and_bound.h"
+#include "solver/epoch_model.h"
+
+namespace syccl::lp {
+
+/// Projection of the epoch-MILP variable layout onto flow structure, built
+/// by the encoder (solver/milp_scheduler.cpp) while it emits variables.
+/// Indices in `x_vars` / `done_vars` are MILP variable ids, i.e. positions
+/// in the bound vectors branch and bound hands to DualBoundProvider.
+struct FlowVarMap {
+  struct Arc {
+    int piece = -1;
+    int from = -1;  ///< group-local sender
+    int to = -1;    ///< group-local receiver
+    std::vector<int> x_vars;  ///< x[piece][from][to][t] for every encoded t
+  };
+  std::vector<Arc> arcs;
+  std::vector<int> done_vars;  ///< done[t-1] for t = 1..horizon
+};
+
+class FlowRelaxation final : public milp::DualBoundProvider {
+ public:
+  /// `map` is copied; `demand` (and its group) are only read during
+  /// construction. `send_cost` is the ε objective weight the encoder puts on
+  /// every x variable (solver::kMilpSendCost).
+  FlowRelaxation(const solver::SubDemand& demand, const solver::EpochParams& ep, int horizon,
+                 const FlowVarMap& map, double send_cost);
+
+  Result root_bound(const std::vector<double>& lower,
+                    const std::vector<double>& upper) override;
+  Result node_bound(const std::vector<double>& lower,
+                    const std::vector<double>& upper) override;
+
+  /// Required (piece, destination) deliveries — pieces whose destinations
+  /// all hold the piece already contribute none (commodity elision).
+  int num_commodities() const { return num_commodities_; }
+  /// Arcs carried by the flow LP (arcs of commodity-free pieces are elided).
+  int num_arcs() const { return num_lp_arcs_; }
+
+ private:
+  struct ArcInfo {
+    int piece = -1;
+    int from = -1;
+    int to = -1;
+    std::vector<int> x_vars;
+    int lp_col = -1;  ///< s-column in the LP, -1 if elided
+  };
+  struct PieceInfo {
+    std::vector<char> is_src;       ///< per group-local member
+    std::vector<int> required;      ///< destinations that are not sources
+    std::vector<int> arc_ids;       ///< indices into arcs_
+    std::vector<std::vector<int>> in_arcs;   ///< per member: inbound arc ids
+    std::vector<std::vector<int>> out_arcs;  ///< per member: outbound arc ids
+  };
+
+  Result bound_impl(const std::vector<double>& lower, const std::vector<double>& upper,
+                    const char* span_name);
+
+  solver::EpochParams ep_;
+  int horizon_ = 0;
+  double send_cost_ = 0.0;
+  int group_size_ = 0;
+  std::vector<int> done_vars_;
+  std::vector<ArcInfo> arcs_;
+  std::vector<PieceInfo> pieces_;
+  int num_commodities_ = 0;
+  int num_lp_arcs_ = 0;
+  int z_col_ = -1;
+  /// A required destination with no inbound arcs in the encoding can never
+  /// be served — every box is integer-infeasible.
+  bool static_infeasible_ = false;
+
+  std::unique_ptr<SimplexSolver> solver_;
+  Basis last_basis_;
+  // Per-call scratch (one thread per MILP solve).
+  std::vector<double> lo_, hi_;
+  std::vector<long> arc_lo_, arc_hi_;
+  std::vector<int> depth_, bfs_queue_;
+};
+
+}  // namespace syccl::lp

@@ -256,6 +256,32 @@ MilpSolution solve_impl(const MilpProblem& problem, const MilpOptions& options,
     }
   }
 
+  // Relative-gap pruning threshold against the current incumbent.
+  const auto prune_floor = [&]() {
+    return best_obj - options.gap_tol * std::max(1.0, std::fabs(best_obj));
+  };
+
+  // Root flow bound: a global dual bound for the whole tree. It can prove
+  // the incumbent optimal (or the problem infeasible) before any branching.
+  double flow_floor = -lp::kInf;
+  if (options.flow != nullptr) {
+    const DualBoundProvider::Result fb = options.flow->root_bound(root_lo, root_hi);
+    result.flow_lp_iterations += fb.lp_iterations;
+    if (fb.infeasible) {
+      result.status = MilpStatus::Infeasible;
+      return result;
+    }
+    flow_floor = fb.bound;
+    result.flow_root_bound = fb.bound;
+    if (!best_x.empty() && flow_floor >= prune_floor()) {
+      result.objective = best_obj;
+      result.x = std::move(best_x);
+      result.best_bound = flow_floor;
+      result.status = MilpStatus::Optimal;
+      return result;
+    }
+  }
+
   std::unique_ptr<lp::SimplexSolver> solver;
   if (options.use_warm_start) solver = std::make_unique<lp::SimplexSolver>(problem.lp);
   std::vector<std::vector<int>> touching;
@@ -287,7 +313,8 @@ MilpSolution solve_impl(const MilpProblem& problem, const MilpOptions& options,
     const Node node = pool[static_cast<std::size_t>(id)];
     ++result.nodes_explored;
 
-    if (node.bound >= best_obj - options.gap_tol * std::max(1.0, std::fabs(best_obj))) {
+    if (node.bound >= prune_floor()) {
+      ++result.bound_prunes;
       proven_bound = std::min(proven_bound, node.bound);
       continue;  // cannot improve
     }
@@ -313,6 +340,28 @@ MilpSolution solve_impl(const MilpProblem& problem, const MilpOptions& options,
                           options.int_tol)) {
       ++result.presolve_prunes;
       continue;  // domain emptied — infeasible without an LP call
+    }
+
+    // Flow-bound refresh: re-bound the node box through the flow relaxation
+    // before paying for the node LP. Gated by depth (shallow nodes shape the
+    // most tree) and a node-count stride (periodic deep refreshes).
+    double flow_node = -lp::kInf;
+    if (options.flow != nullptr &&
+        (static_cast<int>(chain.size()) <= options.flow_node_depth ||
+         (options.flow_node_every > 0 &&
+          result.nodes_explored % options.flow_node_every == 0))) {
+      const DualBoundProvider::Result fb = options.flow->node_bound(lo, hi);
+      result.flow_lp_iterations += fb.lp_iterations;
+      if (fb.infeasible) {
+        ++result.flow_prunes;
+        continue;  // box holds no integer point
+      }
+      flow_node = fb.bound;
+      if (flow_node >= prune_floor()) {
+        ++result.flow_prunes;
+        proven_bound = std::min(proven_bound, flow_node);
+        continue;  // flow bound closes the node — LP never solved
+      }
     }
 
     const double remaining = options.time_limit_s - clock.elapsed_seconds();
@@ -350,13 +399,21 @@ MilpSolution solve_impl(const MilpProblem& problem, const MilpOptions& options,
       continue;
     }
 
+    // Max-combine the LP relaxation with the flow refresh: the node's true
+    // optimum respects both, so the tighter one prunes and both seed the
+    // pseudocosts (flow deltas count as observed degradation).
+    const double node_lb = std::max(rel.objective, flow_node);
     if (node.branch_var >= 0) {
-      pc.observe(node.branch_var, node.up, node.frac,
-                 std::max(0.0, rel.objective - node.bound));
+      pc.observe(node.branch_var, node.up, node.frac, std::max(0.0, node_lb - node.bound));
     }
 
-    if (rel.objective >= best_obj - options.gap_tol * std::max(1.0, std::fabs(best_obj))) {
-      proven_bound = std::min(proven_bound, rel.objective);
+    if (node_lb >= prune_floor()) {
+      if (rel.objective >= prune_floor()) {
+        ++result.lp_prunes;
+      } else {
+        ++result.flow_prunes;  // only the flow bound closed it
+      }
+      proven_bound = std::min(proven_bound, node_lb);
       continue;
     }
 
@@ -377,6 +434,9 @@ MilpSolution solve_impl(const MilpProblem& problem, const MilpOptions& options,
       if (obj < best_obj) {
         best_obj = obj;
         best_x = std::move(x);
+        // The root flow bound is global: once the incumbent is within the
+        // gap of it, everything still open is proven non-improving.
+        if (flow_floor >= prune_floor()) break;
       }
       continue;
     }
@@ -389,7 +449,7 @@ MilpSolution solve_impl(const MilpProblem& problem, const MilpOptions& options,
     Node down;
     down.parent = id;
     down.delta = BoundDelta{branch_var, lo[static_cast<std::size_t>(branch_var)], std::floor(val)};
-    down.bound = rel.objective;
+    down.bound = node_lb;
     down.branch_var = branch_var;
     down.up = false;
     down.frac = frac;
@@ -397,18 +457,18 @@ MilpSolution solve_impl(const MilpProblem& problem, const MilpOptions& options,
     Node up;
     up.parent = id;
     up.delta = BoundDelta{branch_var, std::ceil(val), hi[static_cast<std::size_t>(branch_var)]};
-    up.bound = rel.objective;
+    up.bound = node_lb;
     up.branch_var = branch_var;
     up.up = true;
     up.frac = frac;
     up.warm = snap;
     if (down.delta.lo <= down.delta.hi) {
       pool.push_back(std::move(down));
-      open.push(HeapEntry{rel.objective, static_cast<int>(pool.size()) - 1});
+      open.push(HeapEntry{node_lb, static_cast<int>(pool.size()) - 1});
     }
     if (up.delta.lo <= up.delta.hi) {
       pool.push_back(std::move(up));
-      open.push(HeapEntry{rel.objective, static_cast<int>(pool.size()) - 1});
+      open.push(HeapEntry{node_lb, static_cast<int>(pool.size()) - 1});
     }
   }
 
@@ -419,7 +479,9 @@ MilpSolution solve_impl(const MilpProblem& problem, const MilpOptions& options,
   }
 
   const double open_floor = open.empty() ? lp::kInf : open.top().bound;
-  const double floor_all = std::min({proven_bound, dropped_floor, open_floor});
+  // flow_floor holds tree-wide, so it can only raise the proof floor.
+  const double floor_all =
+      std::max(std::min({proven_bound, dropped_floor, open_floor}), flow_floor);
   result.best_bound = floor_all;
   if (!best_x.empty()) {
     if (open.empty() && result.dropped_nodes == 0) {
@@ -454,6 +516,11 @@ MilpSolution solve(const MilpProblem& problem, const MilpOptions& options,
   static obs::Counter& warm_hits = reg.counter("milp.warm_hits");
   static obs::Counter& warm_fallbacks = reg.counter("milp.warm_fallbacks");
   static obs::Counter& presolve_prunes = reg.counter("milp.presolve_prunes");
+  static obs::Counter& bound_prunes = reg.counter("milp.bound_prunes");
+  static obs::Counter& lp_prunes = reg.counter("milp.lp_prunes");
+  static obs::Counter& flow_prunes = reg.counter("milp.flow_prunes");
+  static obs::Counter& flow_lp_iters = reg.counter("milp.flow_lp_iterations");
+  static obs::Counter& flow_root_proofs = reg.counter("milp.flow_root_proofs");
   static obs::Counter& dropped = reg.counter("milp.dropped_nodes");
   solves.add(1);
   nodes.add(result.nodes_explored);
@@ -461,12 +528,22 @@ MilpSolution solve(const MilpProblem& problem, const MilpOptions& options,
   warm_hits.add(result.warm_hits);
   warm_fallbacks.add(result.warm_fallbacks);
   presolve_prunes.add(result.presolve_prunes);
+  bound_prunes.add(result.bound_prunes);
+  lp_prunes.add(result.lp_prunes);
+  flow_prunes.add(result.flow_prunes);
+  flow_lp_iters.add(result.flow_lp_iterations);
+  if (result.flow_root_bound > -lp::kInf && result.nodes_explored == 0 &&
+      result.status == MilpStatus::Optimal) {
+    flow_root_proofs.add(1);
+  }
   dropped.add(result.dropped_nodes);
 
   span.annotate("vars", static_cast<double>(problem.lp.num_vars));
   span.annotate("nodes", static_cast<double>(result.nodes_explored));
   span.annotate("lp_iterations", static_cast<double>(result.lp_iterations));
   span.annotate("warm_hits", static_cast<double>(result.warm_hits));
+  span.annotate("flow_prunes", static_cast<double>(result.flow_prunes));
+  span.annotate("flow_lp_iterations", static_cast<double>(result.flow_lp_iterations));
   span.annotate("status", static_cast<double>(result.status));
   return result;
 }

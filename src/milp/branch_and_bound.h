@@ -31,6 +31,32 @@ struct MilpProblem {
   std::vector<bool> is_integer;
 };
 
+/// External dual-bound oracle consulted by the branch and bound in addition
+/// to the node LP relaxation (implemented by lp::FlowRelaxation, which
+/// relaxes the epoch encoding to a multi-commodity flow LP). Both methods
+/// receive the full per-variable bound box of the (root or current) node and
+/// must return a bound that never exceeds the best integer objective
+/// attainable inside that box; `infeasible` asserts the box contains no
+/// integer-feasible point at all.
+class DualBoundProvider {
+ public:
+  struct Result {
+    bool infeasible = false;
+    double bound = -lp::kInf;  ///< lower bound on the MILP objective in the box
+    long lp_iterations = 0;    ///< pivots spent producing it
+  };
+
+  virtual ~DualBoundProvider() = default;
+  /// Bound for the root box. May use strengthenings that are only valid
+  /// against optimal solutions (e.g. no-duplicate-send caps).
+  virtual Result root_bound(const std::vector<double>& lower,
+                            const std::vector<double>& upper) = 0;
+  /// Bound for an interior node box. Must stay sound under arbitrary forced
+  /// variable fixings (branching can force redundant work).
+  virtual Result node_bound(const std::vector<double>& lower,
+                            const std::vector<double>& upper) = 0;
+};
+
 struct MilpOptions {
   double time_limit_s = 5.0;
   long node_limit = 20000;
@@ -45,6 +71,18 @@ struct MilpOptions {
   bool use_pseudocost = true;
   /// Per-node bound propagation on the branched variable's rows.
   bool use_presolve = true;
+  /// External dual-bound provider (non-owning; e.g. lp::FlowRelaxation).
+  /// Consulted once at the root — where it can prove optimality or
+  /// infeasibility before any branching — and per node when the depth /
+  /// frequency gates below pass, *before* the node LP so a flow prune skips
+  /// the LP entirely. Node bounds are max-combined with the LP relaxation
+  /// bound for pruning and for the children's bounds, and the combined
+  /// degradation feeds the pseudocosts.
+  DualBoundProvider* flow = nullptr;
+  /// Consult `flow` at nodes whose branching depth is ≤ this.
+  int flow_node_depth = 6;
+  /// Additionally consult `flow` at every Nth explored node (0 = never).
+  long flow_node_every = 16;
 };
 
 enum class MilpStatus {
@@ -70,6 +108,19 @@ struct MilpSolution {
   long warm_fallbacks = 0;
   /// Nodes pruned by per-node bound propagation before any LP call.
   long presolve_prunes = 0;
+  /// Nodes pruned by their inherited (parent / propagated) bound against the
+  /// incumbent, before any LP call. Split from lp_prunes so benches can
+  /// attribute wins to the bound that actually closed the node.
+  long bound_prunes = 0;
+  /// Nodes pruned by their own LP relaxation bound, after the LP solve.
+  long lp_prunes = 0;
+  /// Nodes pruned by the external flow bound (infeasible box or bound ≥
+  /// incumbent), LP call skipped.
+  long flow_prunes = 0;
+  /// Root bound reported by MilpOptions::flow (−inf when absent).
+  double flow_root_bound = -lp::kInf;
+  /// Simplex pivots spent inside the flow relaxation (root + node refreshes).
+  long flow_lp_iterations = 0;
   /// Nodes whose LP hit the iteration/time limit. Their subtrees were never
   /// bounded, so Optimal/Infeasible claims are downgraded when > 0.
   long dropped_nodes = 0;

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
+
+#include "lp/flow_relax.h"
 
 #include "milp/branch_and_bound.h"
 #include "obs/metrics.h"
@@ -63,6 +66,8 @@ struct Encoding {
   std::vector<int> done;  ///< done[t-1] for t = 1..T
   int horizon = 0;
   int binaries = 0;
+  /// Flow projection of the x/done layout for lp::FlowRelaxation.
+  lp::FlowVarMap flow_map;
 };
 
 /// Field extractors for the packed keys.
@@ -88,9 +93,9 @@ Encoding encode(const SubDemand& demand, const EpochParams& ep, int horizon) {
     members[static_cast<std::size_t>(p)] = std::vector<int>(m.begin(), m.end());
   }
 
-  // Variables. ε objective weight on x keeps the schedule traffic-minimal
-  // among equally fast solutions.
-  constexpr double kSendCost = 1e-3;
+  // Variables. The ε objective weight on x (kMilpSendCost) keeps the
+  // schedule traffic-minimal among equally fast solutions. Each (p, i, j)
+  // family of x variables becomes one arc of the flow projection.
   for (int p = 0; p < np; ++p) {
     const DemandPiece& dp = demand.pieces[static_cast<std::size_t>(p)];
     const std::set<int> dstset(dp.dsts.begin(), dp.dsts.end());
@@ -106,15 +111,23 @@ Encoding encode(const SubDemand& demand, const EpochParams& ep, int horizon) {
       if (dstset.count(i) == 0 && srcset.count(i) == 0) continue;
       for (int j : dp.dsts) {
         if (j == i) continue;
+        lp::FlowVarMap::Arc arc;
+        arc.piece = p;
+        arc.from = i;
+        arc.to = j;
         for (int t = 0; t + ep.lat_epochs <= T; ++t) {
-          enc.x.add(pack4(p, i, j, t), pb.add_var(0.0, 1.0, kSendCost));
+          const int var = pb.add_var(0.0, 1.0, kMilpSendCost);
+          enc.x.add(pack4(p, i, j, t), var);
+          arc.x_vars.push_back(var);
           ++enc.binaries;
         }
+        enc.flow_map.arcs.push_back(std::move(arc));
       }
     }
   }
   for (int t = 1; t <= T; ++t) {
     enc.done.push_back(pb.add_var(0.0, 1.0, -1.0));  // maximize Σ done
+    enc.flow_map.done_vars.push_back(enc.done.back());
     ++enc.binaries;
   }
 
@@ -287,6 +300,13 @@ SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions
       milp::MilpOptions mopts;
       mopts.time_limit_s = options.time_limit_s;
       mopts.node_limit = options.node_limit;
+      std::optional<lp::FlowRelaxation> flow;
+      if (options.use_flow_bounds) {
+        flow.emplace(demand, ep, T, enc.flow_map, kMilpSendCost);
+        mopts.flow = &*flow;
+        mopts.flow_node_depth = options.flow_node_depth;
+        mopts.flow_node_every = options.flow_node_every;
+      }
       const auto warm = incumbent_vector(enc, demand, ep, best);
       const milp::MilpSolution sol = milp::solve(enc.problem, mopts, warm);
       local.nodes_explored = sol.nodes_explored;
@@ -294,6 +314,11 @@ SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions
       local.warm_hits = sol.warm_hits;
       local.warm_fallbacks = sol.warm_fallbacks;
       local.presolve_prunes = sol.presolve_prunes;
+      local.bound_prunes = sol.bound_prunes;
+      local.lp_prunes = sol.lp_prunes;
+      local.flow_prunes = sol.flow_prunes;
+      local.flow_root_bound = sol.flow_root_bound;
+      local.flow_lp_iterations = sol.flow_lp_iterations;
       if ((sol.status == milp::MilpStatus::Optimal || sol.status == milp::MilpStatus::Feasible) &&
           !sol.x.empty()) {
         SubSchedule cand = decode(enc, ep, sol.x);
@@ -328,6 +353,10 @@ SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions
     static obs::Counter& warm_hits = reg.counter("solver.warm_hits");
     static obs::Counter& warm_fallbacks = reg.counter("solver.warm_fallbacks");
     static obs::Counter& presolve_prunes = reg.counter("solver.presolve_prunes");
+    static obs::Counter& bound_prunes = reg.counter("solver.bound_prunes");
+    static obs::Counter& lp_prunes = reg.counter("solver.lp_prunes");
+    static obs::Counter& flow_prunes = reg.counter("solver.flow_prunes");
+    static obs::Counter& flow_lp_iters = reg.counter("solver.flow_lp_iterations");
     static obs::Histogram& seconds = reg.histogram("solver.solve_seconds");
     static obs::Histogram& binaries = reg.histogram("solver.binaries");
     solves.add(1);
@@ -338,6 +367,10 @@ SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions
     warm_hits.add(local.warm_hits);
     warm_fallbacks.add(local.warm_fallbacks);
     presolve_prunes.add(local.presolve_prunes);
+    bound_prunes.add(local.bound_prunes);
+    lp_prunes.add(local.lp_prunes);
+    flow_prunes.add(local.flow_prunes);
+    flow_lp_iters.add(local.flow_lp_iterations);
     seconds.observe(local.solve_seconds);
     binaries.observe(local.binaries);
   }
@@ -345,6 +378,7 @@ SubSchedule solve_sub_demand(const SubDemand& demand, const MilpSchedulerOptions
   span.annotate("used_milp", local.used_milp ? 1.0 : 0.0);
   span.annotate("milp_improved", local.milp_improved ? 1.0 : 0.0);
   span.annotate("nodes", static_cast<double>(local.nodes_explored));
+  span.annotate("flow_prunes", static_cast<double>(local.flow_prunes));
   span.annotate("epochs", best.num_epochs);
 
   if (stats != nullptr) *stats = local;
@@ -366,9 +400,11 @@ SubDemandEncoding encode_sub_demand_milp(const SubDemand& demand, double E, int 
   SubDemandEncoding out;
   out.binaries = enc.binaries;
   out.horizon = T;
+  out.params = ep;
   // The greedy incumbent only fits encodings whose horizon covers it.
   if (greedy.num_epochs <= T) out.incumbent = incumbent_vector(enc, demand, ep, greedy);
   out.problem = std::move(enc.problem);
+  out.flow_map = std::move(enc.flow_map);
   return out;
 }
 

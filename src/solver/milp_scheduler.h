@@ -14,10 +14,16 @@
 
 #include <vector>
 
+#include "lp/flow_relax.h"
 #include "milp/branch_and_bound.h"
 #include "solver/epoch_model.h"
 
 namespace syccl::solver {
+
+/// ε objective weight on every send variable: keeps the MILP schedule
+/// traffic-minimal among equally fast solutions. Shared with the flow
+/// relaxation, whose bound lives on the same objective scale.
+inline constexpr double kMilpSendCost = 1e-3;
 
 struct MilpSchedulerOptions {
   /// Epoch knob (Appendix A.3). Coarse step E₁ ≈ 3.0, fine step E₂ ≈ 0.5.
@@ -30,6 +36,15 @@ struct MilpSchedulerOptions {
   int max_binaries = 500;
   /// Force greedy-only solving (used by fast/coarse passes and ablations).
   bool greedy_only = false;
+  /// Multi-commodity flow dual bounds (lp::FlowRelaxation): a root bound
+  /// that can prove the greedy incumbent optimal before any branching, plus
+  /// depth/frequency-gated per-node bound refreshes. Changes speed, never
+  /// answers (the winning schedule is byte-identical either way).
+  bool use_flow_bounds = true;
+  /// Consult the flow bound at nodes of branching depth ≤ this.
+  int flow_node_depth = 6;
+  /// Additionally consult it at every Nth explored node (0 = never).
+  long flow_node_every = 16;
 };
 
 struct SolveStats {
@@ -47,6 +62,17 @@ struct SolveStats {
   long warm_fallbacks = 0;
   /// Nodes pruned by per-node bound propagation before any LP call.
   long presolve_prunes = 0;
+  /// Nodes pruned by their inherited bound against the incumbent (pre-LP)
+  /// vs. by their own LP relaxation bound (post-solve) — split so benches
+  /// can attribute wins to the bound that closed the node.
+  long bound_prunes = 0;
+  long lp_prunes = 0;
+  /// Nodes closed by the multi-commodity flow bound (LP call skipped).
+  long flow_prunes = 0;
+  /// Flow bound at the root box (−inf when flow bounds were off/unused).
+  double flow_root_bound = -lp::kInf;
+  /// Simplex pivots spent inside the flow relaxation.
+  long flow_lp_iterations = 0;
 };
 
 /// Solves `demand`: derives epoch parameters from the group and `options.E`,
@@ -70,6 +96,10 @@ struct SubDemandEncoding {
   std::vector<double> incumbent;  ///< greedy schedule as a MILP warm start
   int binaries = 0;
   int horizon = 0;  ///< epochs encoded (greedy completion when derived)
+  /// Flow projection of the variable layout + the epoch discretisation it
+  /// was encoded under, so callers can stand up an lp::FlowRelaxation.
+  lp::FlowVarMap flow_map;
+  EpochParams params;
 };
 
 /// Encodes `demand` over `horizon` epochs (`horizon` ≤ 0 uses the greedy

@@ -42,7 +42,9 @@ std::string SubScheduleCache::options_fingerprint(const MilpSchedulerOptions& op
   std::ostringstream os;
   os << std::hexfloat << "E=" << options.E << ";tl=" << options.time_limit_s
      << ";nl=" << options.node_limit << ";mb=" << options.max_binaries
-     << ";g=" << static_cast<int>(options.greedy_only);
+     << ";g=" << static_cast<int>(options.greedy_only)
+     << ";f=" << static_cast<int>(options.use_flow_bounds) << ";fd=" << options.flow_node_depth
+     << ";fe=" << options.flow_node_every;
   return os.str();
 }
 

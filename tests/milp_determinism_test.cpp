@@ -8,9 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <random>
 #include <vector>
 
 #include "milp/branch_and_bound.h"
+#include "solver/milp_scheduler.h"
+#include "topo/builders.h"
+#include "topo/groups.h"
 
 namespace syccl::milp {
 namespace {
@@ -78,6 +82,65 @@ TEST(MilpDeterminism, IncumbentSeededSolveIsByteIdentical) {
   ASSERT_EQ(a.status, MilpStatus::Optimal);
   EXPECT_NEAR(a.objective, -31.0, 1e-9);
   expect_bytes_equal(a.x, b.x);
+}
+
+// Flow dual bounds must change how fast the sub-demand solver proves its
+// answer, never which schedule it returns: winning schedules are
+// byte-identical with flow bounds on and off across a randomized corpus.
+TEST(MilpDeterminism, FlowBoundsChangeSpeedNotSchedules) {
+  std::mt19937 rng(42);
+  for (int seed = 0; seed < 40; ++seed) {
+    const int n = 3 + static_cast<int>(rng() % 4);  // 3..6 members
+    const topo::Topology topo = topo::build_single_server(n);
+    const topo::TopologyGroups groups = topo::extract_groups(topo);
+    const topo::GroupTopology& g = groups.dims[0].groups[0];
+
+    solver::SubDemand d;
+    d.group = &g;
+    d.piece_bytes = 1 << 20;
+    const int np = 1 + static_cast<int>(rng() % 3);
+    for (int p = 0; p < np; ++p) {
+      solver::DemandPiece piece;
+      piece.id = p;
+      const int src = static_cast<int>(rng() % n);
+      piece.srcs = {src};
+      if (rng() % 4 == 0) piece.srcs.push_back((src + 1) % n);  // merged piece
+      for (int m = 0; m < n; ++m) {
+        bool is_src = false;
+        for (int s : piece.srcs) is_src = is_src || s == m;
+        if (!is_src && rng() % 2 == 0) piece.dsts.push_back(m);
+      }
+      if (piece.dsts.empty()) {
+        for (int m = 0; m < n; ++m) {
+          bool is_src = false;
+          for (int s : piece.srcs) is_src = is_src || s == m;
+          if (!is_src) {
+            piece.dsts.push_back(m);
+            break;
+          }
+        }
+      }
+      if (piece.dsts.empty()) continue;
+      d.pieces.push_back(std::move(piece));
+    }
+    if (d.pieces.empty()) continue;
+
+    solver::MilpSchedulerOptions on;
+    on.max_binaries = 2000;
+    solver::MilpSchedulerOptions off = on;
+    off.use_flow_bounds = false;
+
+    solver::SolveStats stats_on, stats_off;
+    const solver::SubSchedule a = solver::solve_sub_demand(d, on, &stats_on);
+    const solver::SubSchedule b = solver::solve_sub_demand(d, off, &stats_off);
+
+    ASSERT_EQ(a.num_epochs, b.num_epochs) << "seed " << seed;
+    ASSERT_EQ(a.ops.size(), b.ops.size()) << "seed " << seed;
+    EXPECT_EQ(std::memcmp(a.ops.data(), b.ops.data(), a.ops.size() * sizeof(solver::SubOp)), 0)
+        << "seed " << seed;
+    EXPECT_EQ(stats_off.flow_prunes, 0) << "seed " << seed;
+    EXPECT_EQ(stats_off.flow_lp_iterations, 0) << "seed " << seed;
+  }
 }
 
 }  // namespace
