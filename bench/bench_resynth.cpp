@@ -1,0 +1,162 @@
+// Incremental re-synthesis bench (BENCH_resynth.json): after a single
+// rail-link degradation on a 2×8 multi-rail fabric, re-synthesizing against
+// the warm solve cache must be ≥10× faster than a cold full synthesis on the
+// mutated topology AND produce a byte-identical schedule.
+//
+// The degradation touches one size-2 rail group; the expensive size-8
+// NVLink classes are untouched, so the incremental pass serves them from the
+// cache (position-canonical keys + modal-β bandwidth shares keep the keys
+// stable) and only re-solves the degraded group's classes.
+//
+// Registered under the ctest configuration/label `perf` (`ctest -C perf`).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "core/resynthesize.h"
+#include "core/synthesizer.h"
+#include "solver/solve_cache.h"
+#include "topo/builders.h"
+#include "topo/mutate.h"
+#include "util/stopwatch.h"
+
+using namespace syccl;
+
+namespace {
+
+core::SynthesisConfig bench_config() {
+  core::SynthesisConfig cfg;
+  // Small sketch budgets keep the (shared) search/replication overhead low;
+  // the MILP class solves dominate the cold run, which is exactly the work
+  // the incremental pass avoids.
+  cfg.sketch.search.max_sketches = 16;
+  cfg.sketch.max_prototypes = 2;
+  cfg.sketch.combine.max_outputs = 4;
+  // Byte-identity requires deterministic solves: termination must come from
+  // the node/iteration limits, never the wall clock (a time-truncated B&B
+  // incumbent depends on machine load). The budgets admit the ~3.4k-binary
+  // size-8 NVLink all-to-all class into the B&B instead of the greedy
+  // fallback; three explored nodes put the cold solve in the seconds range.
+  for (auto* opts : {&cfg.coarse_solver, &cfg.fine_solver}) {
+    opts->max_binaries = 4000;
+    opts->node_limit = 3;
+    opts->time_limit_s = 1e6;
+  }
+  if (const char* t = std::getenv("SYCCL_SYNTH_THREADS")) cfg.num_threads = std::atoi(t);
+  return cfg;
+}
+
+double median_of_three(double a, double b, double c) {
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  return a > b ? a : b;
+}
+
+bool identical_schedules(const sim::Schedule& a, const sim::Schedule& b) {
+  if (a.pieces.size() != b.pieces.size() || a.ops.size() != b.ops.size()) return false;
+  for (std::size_t i = 0; i < a.pieces.size(); ++i) {
+    const auto& p = a.pieces[i];
+    const auto& q = b.pieces[i];
+    if (p.chunk != q.chunk || p.bytes != q.bytes || p.origin != q.origin ||
+        p.reduce != q.reduce || p.contributors != q.contributors) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    const auto& p = a.ops[i];
+    const auto& q = b.ops[i];
+    if (p.piece != q.piece || p.src != q.src || p.dst != q.dst || p.dim != q.dim ||
+        p.phase != q.phase) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  topo::MultiRailSpec spec;
+  spec.num_servers = 2;
+  spec.gpus_per_server = 8;
+  spec.with_spine = false;
+  const topo::Topology base = topo::build_multi_rail(spec);
+  const auto coll = coll::make_alltoall(16, 16 << 20);
+  const core::SynthesisConfig cfg = bench_config();
+
+  // One rail NIC's uplink degrades 8×: only the rail-0 group (2 ranks) is
+  // affected; both size-8 NVLink groups and the other 7 rail groups keep
+  // their canonical keys.
+  const topo::MutationResult mutation =
+      topo::degrade_duplex(base, topo::node_by_name(base, "nic0.0"),
+                           topo::node_by_name(base, "leaf0"), 1.0, 8.0);
+
+  // Cold reference: cleared cache, full synthesis on the mutated topology.
+  double cold[3];
+  core::SynthesisResult cold_result;
+  for (int i = 0; i < 3; ++i) {
+    solver::SubScheduleCache::instance().clear();
+    core::Synthesizer synth(mutation.topo, cfg);
+    util::Stopwatch clock;
+    cold_result = synth.synthesize(coll);
+    cold[i] = clock.elapsed_seconds();
+  }
+
+  // Incremental: each iteration re-warms the cache with an (untimed) base
+  // synthesis, then times only the re-synthesis after the degradation.
+  double warm[3];
+  core::ResynthesisReport warm_report;
+  for (int i = 0; i < 3; ++i) {
+    solver::SubScheduleCache::instance().clear();
+    core::Synthesizer prev_synth(base, cfg);
+    const core::SynthesisResult previous = prev_synth.synthesize(coll);
+    util::Stopwatch clock;
+    warm_report = core::resynthesize(base, mutation, coll, cfg, &previous);
+    warm[i] = clock.elapsed_seconds();
+  }
+
+  const double cold_s = median_of_three(cold[0], cold[1], cold[2]);
+  const double warm_s = median_of_three(warm[0], warm[1], warm[2]);
+  const double speedup = warm_s > 0 ? cold_s / warm_s : 0.0;
+  const bool byte_identical = identical_schedules(warm_report.result.schedule,
+                                                  cold_result.schedule) &&
+                              warm_report.result.predicted_time == cold_result.predicted_time;
+
+  char line[1024];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"resynth_single_rail_degradation_2x8\",\"bytes\":%llu,"
+      "\"cold_s\":%.6f,\"warm_s\":%.6f,\"speedup\":%.2f,"
+      "\"affected_groups\":%d,\"total_groups\":%d,"
+      "\"classes_reused\":%d,\"classes_resolved\":%d,"
+      "\"cold_solver_calls\":%d,\"warm_solver_calls\":%d,"
+      "\"byte_identical\":%s}",
+      static_cast<unsigned long long>(coll.total_bytes()), cold_s, warm_s, speedup,
+      warm_report.affected_groups, warm_report.total_groups, warm_report.classes_reused,
+      warm_report.classes_resolved, cold_result.breakdown.num_solver_calls,
+      warm_report.result.breakdown.num_solver_calls, byte_identical ? "true" : "false");
+  benchutil::emit_json("resynth", line);
+
+  // ---- Gates (acceptance criteria) ----
+  if (!byte_identical) {
+    std::fprintf(stderr, "FAIL: incremental re-synthesis diverges from cold synthesis\n");
+    return 1;
+  }
+  if (warm_report.result.breakdown.num_solver_calls >=
+      cold_result.breakdown.num_solver_calls) {
+    std::fprintf(stderr, "FAIL: incremental pass re-solved %d classes (cold solved %d)\n",
+                 warm_report.result.breakdown.num_solver_calls,
+                 cold_result.breakdown.num_solver_calls);
+    return 1;
+  }
+  if (warm_report.classes_reused <= 0) {
+    std::fprintf(stderr, "FAIL: incremental pass reused no cached classes\n");
+    return 1;
+  }
+  if (speedup < 10.0) {
+    std::fprintf(stderr, "FAIL: incremental re-synthesis only %.2fx faster than cold\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

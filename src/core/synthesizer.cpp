@@ -29,6 +29,10 @@ struct Candidate {
   sketch::SketchCombination combo;
   DemandPlan plan;
   std::vector<int> demand_class;
+  /// Per-demand remap carrying the class representative's solution into this
+  /// demand's local coordinates (identity for the representative itself and
+  /// for positionally identical demands).
+  std::vector<solver::SubScheduleRemap> demand_remap;
   double predicted = std::numeric_limits<double>::infinity();
   bool valid = true;
 };
@@ -36,19 +40,50 @@ struct Candidate {
 /// Isomorphism-class registry shared by all candidates of one synthesis.
 /// Owns copies of its representative demands so interning never depends on
 /// candidate storage staying put (candidates move while being collected and
-/// are evaluated concurrently later).
+/// are evaluated concurrently later). Classes are keyed on the *canonical*
+/// demand key, so demands whose groups are isomorphic but differently
+/// labelled (e.g. the same degraded link at different ranks) share a class;
+/// intern() returns the remap that repositions the representative's solution
+/// onto the interned demand.
 struct ClassRegistry {
   std::map<std::string, int> index_of;
   std::vector<solver::SubDemand> representative;
+  std::vector<solver::CanonicalDemand> canon;  ///< of the representative
 
-  int intern(const solver::SubDemand& demand) {
-    const std::string key = demand.isomorphism_key();
-    const auto it = index_of.find(key);
-    if (it != index_of.end()) return it->second;
-    const int id = static_cast<int>(representative.size());
-    index_of.emplace(key, id);
-    representative.push_back(demand);
-    return id;
+  std::pair<int, solver::SubScheduleRemap> intern(const solver::SubDemand& demand) {
+    solver::CanonicalDemand cd = demand.canonical();
+    const auto it = index_of.find(cd.key);
+    if (it == index_of.end()) {
+      const int id = static_cast<int>(representative.size());
+      index_of.emplace(cd.key, id);
+      representative.push_back(demand);
+      canon.push_back(std::move(cd));
+      return {id, solver::SubScheduleRemap{}};
+    }
+    const solver::CanonicalDemand& rep = canon[static_cast<std::size_t>(it->second)];
+    if (rep.identity && cd.identity) return {it->second, solver::SubScheduleRemap{}};
+    // Compose rep-local -> canonical -> this-local.
+    const solver::SubScheduleRemap down = cd.from_canonical();
+    solver::SubScheduleRemap remap;
+    remap.member.resize(rep.member_perm.size());
+    remap.piece.resize(rep.piece_perm.size());
+    bool ident = true;
+    for (std::size_t i = 0; i < rep.member_perm.size(); ++i) {
+      const int to = down.is_identity()
+                         ? rep.member_perm[i]
+                         : down.member[static_cast<std::size_t>(rep.member_perm[i])];
+      remap.member[i] = to;
+      if (to != static_cast<int>(i)) ident = false;
+    }
+    for (std::size_t i = 0; i < rep.piece_perm.size(); ++i) {
+      const int to = down.is_identity()
+                         ? rep.piece_perm[i]
+                         : down.piece[static_cast<std::size_t>(rep.piece_perm[i])];
+      remap.piece[i] = to;
+      if (to != static_cast<int>(i)) ident = false;
+    }
+    if (ident) return {it->second, solver::SubScheduleRemap{}};
+    return {it->second, std::move(remap)};
   }
 };
 
@@ -166,8 +201,11 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
     SYCCL_TRACE_SPAN(span, "sketch_search", "core");
     sketches = sketch::search_sketches(groups_, root, pattern, config_.sketch.search);
     span.annotate("sketches", static_cast<double>(sketches.size()));
-    prototypes =
-        sketch::select_prototypes(std::move(sketches), groups_, config_.sketch.max_prototypes);
+    // `sketches` is kept alive: when none of the selected prototypes
+    // replicates (degraded/failed topologies), phase 1b falls back to the
+    // full search output — profile dedup in select_prototypes can hide a
+    // replicable sketch behind an infeasible one with the same workload.
+    prototypes = sketch::select_prototypes(sketches, groups_, config_.sketch.max_prototypes);
     span.annotate("prototypes", static_cast<double>(prototypes.size()));
   }
   breakdown.search_s = phase_clock.elapsed_seconds();
@@ -178,9 +216,9 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
   {
     SYCCL_TRACE_SPAN(span, "combine", "core");
     std::vector<sketch::SketchCombination> balanced;
-    for (const auto& s : prototypes) {
+    auto try_family = [&](const sketch::Sketch& proto) {
       try {
-        sketch::SketchCombination combo = sketch::balance_across_groups(s, groups_);
+        sketch::SketchCombination combo = sketch::balance_across_groups(proto, groups_);
         if (all_to_all) combo = sketch::replicate_for_all_roots(combo, groups_);
         balanced.push_back(std::move(combo));
       } catch (const std::runtime_error& e) {
@@ -188,6 +226,15 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
         // root (their mapping corners itself); drop the family.
         SYCCL_DEBUG << "dropping sketch family: " << e.what();
       }
+    };
+    for (const auto& proto : prototypes) try_family(proto);
+    // Fallback for degraded/failed fabrics: every selected prototype can be
+    // structurally impossible to root everywhere (e.g. the root's image
+    // cannot cross any fabric dim), and select_prototypes' workload-profile
+    // dedup may have discarded a replicable sketch in favour of such an
+    // impossible one. Walk the raw search output until one family works.
+    for (std::size_t si = 0; si < sketches.size() && balanced.empty(); ++si) {
+      try_family(sketches[si]);
     }
     if (balanced.empty()) throw std::runtime_error("no replicable sketch family found");
     combos = sketch::generate_combinations(balanced, groups_, config_.sketch.combine);
@@ -207,8 +254,11 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
     cand.combo = combo;
     cand.plan = build_demand_plan(combo, coll, groups_);
     cand.demand_class.reserve(cand.plan.demands.size());
+    cand.demand_remap.reserve(cand.plan.demands.size());
     for (const auto& md : cand.plan.demands) {
-      cand.demand_class.push_back(registry.intern(md.demand));
+      auto [cls, remap] = registry.intern(md.demand);
+      cand.demand_class.push_back(cls);
+      cand.demand_remap.push_back(std::move(remap));
     }
     breakdown.num_subdemands += static_cast<int>(cand.plan.demands.size());
     candidates.push_back(std::move(cand));
@@ -280,8 +330,9 @@ SynthesisResult Synthesizer::synthesize_pattern(const coll::Collective& coll,
       const Candidate& cand = *cands[i];
       std::vector<solver::SubSchedule> per_demand;
       per_demand.reserve(cand.plan.demands.size());
-      for (int c : cand.demand_class) {
-        per_demand.push_back(solutions[static_cast<std::size_t>(c)]);
+      for (std::size_t k = 0; k < cand.demand_class.size(); ++k) {
+        const auto& sol = solutions[static_cast<std::size_t>(cand.demand_class[k])];
+        per_demand.push_back(solver::remap_sub_schedule(sol, cand.demand_remap[k]));
       }
       try {
         schedules[i] =

@@ -106,7 +106,8 @@ CaseResult run_differential_case(std::uint64_t seed, const CaseOptions& options)
   CaseResult out;
   out.seed = seed;
 
-  const RandomTopology rt = random_topology(rng);
+  RandomTopology rt = random_topology(rng);
+  if (options.degrade_topology) degrade_random(rt, rng);
   const topo::TopologyGroups groups = topo::extract_groups(rt.topo);
   const int num_ranks = static_cast<int>(rt.topo.num_gpus());
   const coll::Collective coll = random_collective(rng, num_ranks);

@@ -30,6 +30,10 @@ struct CaseOptions {
   bool with_synthesizer = false;
   /// Check baseline generators (NCCL, TECCL, crafted) where applicable.
   bool with_baselines = true;
+  /// Degraded-topology axis: apply a random fault (link degradation or NIC
+  /// failure, generators.h degrade_random) to the drawn topology before
+  /// grouping, so every oracle runs against a heterogeneous fabric.
+  bool degrade_topology = false;
   /// Number of mutated variants of the direct random schedule.
   int mutants = 2;
   /// Divergence tolerance on times (relative).

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "topo/builders.h"
+#include "topo/mutate.h"
 
 namespace syccl::fuzz {
 
@@ -144,6 +145,39 @@ RandomTopology random_topology(util::Rng& rng) {
       desc << "microbench_cluster";
       return {topo::build_microbench_cluster(), desc.str()};
   }
+}
+
+void degrade_random(RandomTopology& t, util::Rng& rng) {
+  std::ostringstream desc;
+  const auto degrade = [&]() {
+    const auto& links = t.topo.links();
+    const topo::Link& l = links[rng.next_below(links.size())];
+    const double alpha_scale = static_cast<double>(std::uint64_t{1} << rng.next_in(1, 4));
+    const double beta_scale = static_cast<double>(std::uint64_t{1} << rng.next_in(1, 4));
+    desc << ",degrade(link" << l.id << ",a" << alpha_scale << ",b" << beta_scale << ")";
+    t.topo = topo::degrade_duplex(t.topo, l.src, l.dst, alpha_scale, beta_scale).topo;
+  };
+  if (rng.next_below(2) == 0) {
+    // NIC failure, drawn uniformly over NICs that still have links.
+    std::vector<topo::NodeId> nics;
+    for (const topo::Node& n : t.topo.nodes()) {
+      if (n.kind == topo::NodeKind::Nic && !t.topo.out_links(n.id).empty()) nics.push_back(n.id);
+    }
+    if (!nics.empty()) {
+      const topo::NodeId nic = nics[rng.next_below(nics.size())];
+      try {
+        topo::MutationResult m = topo::fail_nic(t.topo, nic);
+        desc << ",failnic(" << t.topo.nodes()[static_cast<std::size_t>(nic)].name << ")";
+        t.topo = std::move(m.topo);
+        t.desc += desc.str();
+        return;
+      } catch (const std::runtime_error&) {
+        // Failure would disconnect the fabric — degrade instead.
+      }
+    }
+  }
+  degrade();
+  t.desc += desc.str();
 }
 
 coll::Collective random_collective(util::Rng& rng, int num_ranks) {

@@ -38,6 +38,14 @@ struct RandomTopology {
 /// the paper's fixed testbeds occasionally.
 RandomTopology random_topology(util::Rng& rng);
 
+/// Applies a random fault to `t` through topo/mutate.h — the degraded-
+/// topology fuzz axis. Either degrades a random duplex pair (α/β scaled
+/// ×2–×16, possibly asymmetrically) or fails a random NIC; a failure that
+/// would disconnect the fabric falls back to degrading instead, so every
+/// draw yields a usable topology. Appends the fault to `t.desc` for replay
+/// logs.
+void degrade_random(RandomTopology& t, util::Rng& rng);
+
 /// Draws a collective of any §2.1 kind over `num_ranks` ranks with a random
 /// root and a random size between 1 KB and 4 MB.
 coll::Collective random_collective(util::Rng& rng, int num_ranks);

@@ -8,8 +8,10 @@
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "sim/contention.h"
 #include "solver/solve_cache.h"
 #include "topo/builders.h"
+#include "topo/mutate.h"
 
 namespace syccl::obs {
 
@@ -45,6 +47,26 @@ struct TracingGuard {
 }  // namespace
 
 topo::Topology build_scenario_topology(const std::string& name) {
+  // A mutation suffix derives a faulty variant of any base scenario.
+  if (const std::size_t at = name.find('@'); at != std::string::npos) {
+    const topo::Topology base = build_scenario_topology(name.substr(0, at));
+    const std::string fault = lower(name.substr(at + 1));
+    if (fault == "degraded") {
+      if (base.num_links() == 0) {
+        throw std::invalid_argument("scenario '" + name + "': topology has no links");
+      }
+      const topo::Link& l = base.links().front();
+      return topo::degrade_duplex(base, l.src, l.dst, 8.0, 8.0).topo;
+    }
+    if (fault == "failnic") {
+      for (const topo::Node& node : base.nodes()) {
+        if (node.kind == topo::NodeKind::Nic) return topo::fail_nic(base, node.id).topo;
+      }
+      throw std::invalid_argument("scenario '" + name + "': topology has no NICs");
+    }
+    throw std::invalid_argument("unknown scenario fault '" + fault +
+                                "' (expected degraded or failnic)");
+  }
   const std::string n = lower(name);
   if (n == "dgx16") return topo::build_h800_cluster(2);
   if (n == "micro") return topo::build_microbench_cluster();
@@ -105,6 +127,18 @@ ScenarioResult run_traced_scenario(const ScenarioSpec& spec) {
     sim_opts.record_final_state = true;
     sim::Simulator simulator(synth.groups(), sim_opts);
     out.sim = simulator.run(out.synthesis.schedule);
+
+    // Multi-tenant contention: N copies of the winner share the fabric
+    // (sim/contention.h). The plain (non-recording) simulator keeps the
+    // shared run cheap; the traced Gantt stays the solo run above.
+    if (spec.tenants > 1) {
+      sim::Simulator plain(synth.groups(), config.sim);
+      std::vector<sim::Tenant> tenants(static_cast<std::size_t>(spec.tenants));
+      for (std::size_t t = 0; t < tenants.size(); ++t) {
+        tenants[t] = sim::Tenant{&out.synthesis.schedule, "tenant" + std::to_string(t)};
+      }
+      out.contention = sim::simulate_concurrent(plain, tenants);
+    }
   }
 
   ChromeTraceBuilder builder;

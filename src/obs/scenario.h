@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/synthesizer.h"
+#include "sim/contention.h"
 #include "sim/simulator.h"
 #include "topo/topology.h"
 
@@ -24,6 +25,10 @@ struct ScenarioSpec {
   /// Topology name: "dgx16" (two 8-GPU H800 servers, the paper's DGX-style
   /// unit), "h800x<S>" (S servers × 8 GPUs), "a100x<G>" (§7.1 testbed,
   /// G ∈ {16, 32}), "flat<G>" (single switch), "micro" (§7.4 cluster).
+  /// A `@degraded` suffix scales the first duplex link's α/β 8× (flapping
+  /// optic); `@failnic` removes the first NIC's links (dead NIC). Both
+  /// mutate through topo/mutate.h, so the degraded fabric flows through
+  /// grouping, synthesis, and simulation like any other scenario.
   std::string topo = "dgx16";
   /// Collective name (case-insensitive): allreduce, allgather,
   /// reducescatter, alltoall, broadcast, scatter, gather, reduce.
@@ -35,6 +40,10 @@ struct ScenarioSpec {
   /// Clear the process-wide solve cache first so the metrics show a cold
   /// run. Off when sweeping sizes to show cache reuse instead.
   bool clear_solve_cache = true;
+  /// Concurrent copies of the winning schedule to contend on the fabric
+  /// (sim/contention.h). 1 = no contention; N > 1 fills
+  /// ScenarioResult::contention with the shared-run timings.
+  int tenants = 1;
   /// Overrides applied on top of the default SynthesisConfig. Kept small:
   /// scenarios are observability probes, not a config surface.
   core::SynthesisConfig config;
@@ -49,6 +58,8 @@ struct ScenarioResult {
   std::string trace_json;
   /// MetricsRegistry::to_json() scoped to this run (registry reset first).
   std::string metrics_json;
+  /// Shared-fabric timings when ScenarioSpec::tenants > 1 (empty otherwise).
+  sim::ContentionResult contention;
 };
 
 /// Builds the topology for a scenario name. Throws std::invalid_argument on

@@ -1,0 +1,81 @@
+// Multi-tenant contention simulation: ≥2 concurrent collectives sharing one
+// fabric's link timelines.
+//
+// Production fleets rarely run one job per fabric — data-parallel and
+// tensor-parallel traffic of co-located jobs contend for the same NICs and
+// rails ("Rethinking ML Collective Communication as a Multi-Commodity Flow
+// Problem", PAPERS.md). The model here reuses the α–β engine unchanged:
+// every tenant's schedule is merged into one combined schedule with disjoint
+// piece rows and a round-robin op interleave, so per-port FIFO execution
+// naturally serializes contending tenants on shared links while disjoint
+// links stay concurrent.
+//
+// Modelling assumptions (deterministic by construction):
+//  - Tenants start simultaneously; the round-robin interleave is the
+//    fair-arbitration approximation of simultaneous issue.
+//  - Phase barriers stay global in the merged run: tenants iterate in
+//    lockstep (the synchronized-training model — DP+TP phases of co-located
+//    jobs align at step boundaries). A tenant with fewer phases simply has
+//    no ops in the later ones.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/schedule.h"
+#include "sim/simulator.h"
+
+namespace syccl::sim {
+
+/// One concurrent collective.
+struct Tenant {
+  const Schedule* schedule = nullptr;
+  std::string name;
+};
+
+/// A merged multi-tenant schedule plus the op → tenant ownership map.
+struct MergedTenants {
+  Schedule schedule;
+  /// Owning tenant index of each merged op, indexed like schedule.ops.
+  std::vector<int> op_tenant;
+};
+
+/// Merges tenants into one schedule: piece rows re-based per tenant, ops
+/// interleaved round-robin (one op per live tenant per round) so each
+/// tenant's internal issue order — and therefore its dependency order — is
+/// preserved. Throws std::invalid_argument on a null tenant schedule.
+MergedTenants merge_tenants(std::span<const Tenant> tenants);
+
+/// Per-tenant outcome of a shared run.
+struct TenantTiming {
+  std::string name;
+  /// Finish time of the tenant's last op when running alone on the fabric.
+  double solo = 0.0;
+  /// Finish time of the tenant's last op in the shared run.
+  double contended = 0.0;
+  /// contended / solo (1.0 = no interference).
+  double slowdown = 1.0;
+};
+
+struct ContentionResult {
+  /// Makespan of the merged run (= max over tenants' contended finishes).
+  double makespan = 0.0;
+  std::vector<TenantTiming> tenants;
+};
+
+/// Simulates all tenants concurrently on `sim`'s fabric and, for the
+/// slowdown ratio, each tenant alone. Throws what Simulator::run throws on
+/// malformed schedules.
+ContentionResult simulate_concurrent(const Simulator& sim, std::span<const Tenant> tenants);
+
+/// Ranks candidate schedules for one tenant slot under fixed background
+/// traffic: candidate i's entry is its contended finish time when simulated
+/// concurrently with `background` (infinity when the merged run fails).
+/// Candidates that tie solo can rank differently here — a schedule routing
+/// around the background's hot links wins under contention.
+std::vector<double> rank_under_contention(const Simulator& sim,
+                                          std::span<const Schedule* const> candidates,
+                                          std::span<const Tenant> background);
+
+}  // namespace syccl::sim

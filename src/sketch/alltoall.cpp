@@ -66,13 +66,21 @@ std::vector<SketchCombination> generate_alltoall_combinations(
   const auto prototypes = select_prototypes(sketches, groups, config.max_prototypes);
 
   std::vector<SketchCombination> balanced;
-  for (const auto& s : prototypes) {
+  auto try_family = [&](const Sketch& proto) {
     try {
-      const SketchCombination proto = balance_across_groups(s, groups);
-      balanced.push_back(replicate_for_all_roots(proto, groups));
+      const SketchCombination combo = balance_across_groups(proto, groups);
+      balanced.push_back(replicate_for_all_roots(combo, groups));
     } catch (const std::runtime_error& e) {
       SYCCL_DEBUG << "dropping sketch family: " << e.what();
     }
+  };
+  for (const auto& proto : prototypes) try_family(proto);
+  // Fallback for degraded/failed fabrics (mirrors
+  // Synthesizer::synthesize_pattern): the profile-deduped working set can be
+  // entirely unreplicable while the raw search output still holds a
+  // feasible family.
+  for (std::size_t si = 0; si < sketches.size() && balanced.empty(); ++si) {
+    try_family(sketches[si]);
   }
   return generate_combinations(balanced, groups, config.combine);
 }

@@ -81,8 +81,12 @@ std::optional<Sketch> replicate_sketch(const Sketch& sketch, const topo::Topolog
   const int num_ranks = static_cast<int>(groups.group_of.front().size());
   std::vector<int> F(static_cast<std::size_t>(num_ranks), -1);
   std::vector<bool> used(static_cast<std::size_t>(num_ranks), false);
+  // Ranks whose image holds the data before the current stage (stage-ordered,
+  // like Sketch::validate): the substitute pool for coverage holes.
+  std::vector<bool> holds(static_cast<std::size_t>(num_ranks), false);
   F[static_cast<std::size_t>(sketch.root)] = new_root;
   used[static_cast<std::size_t>(new_root)] = true;
+  holds[static_cast<std::size_t>(new_root)] = true;
 
   const std::vector<int> send_dim = later_send_dims(sketch, num_ranks);
 
@@ -101,24 +105,61 @@ std::optional<Sketch> replicate_sketch(const Sketch& sketch, const topo::Topolog
     for (const SubDemandSpec& r : st.demands) {
       SubDemandSpec m;
       m.dim = r.dim;
+      const auto& gd = groups.group_of[static_cast<std::size_t>(r.dim)];
       for (int s : r.srcs) {
         const int fs = F[static_cast<std::size_t>(s)];
         if (fs < 0) return std::nullopt;  // source not yet mapped: malformed sketch
+        // A failed link/NIC can leave ranks uncovered by a dimension: such an
+        // image holds the data but cannot send on this dimension, so drop it
+        // instead of failing the whole replica.
+        if (gd[static_cast<std::size_t>(fs)] < 0) continue;
         m.srcs.push_back(fs);
       }
-      const auto& gd = groups.group_of[static_cast<std::size_t>(r.dim)];
-      m.group = gd[static_cast<std::size_t>(m.srcs.front())];
-      for (int fs : m.srcs) {
-        if (gd[static_cast<std::size_t>(fs)] != m.group) return std::nullopt;
+      bool dim_hole = false;
+      for (int u = 0; u < num_ranks; ++u) {
+        if (gd[static_cast<std::size_t>(u)] < 0) dim_hole = true;
       }
-      const topo::GroupTopology& gt = groups.group(r.dim, m.group);
-
+      if (!m.srcs.empty()) {
+        m.group = gd[static_cast<std::size_t>(m.srcs.front())];
+        for (int fs : m.srcs) {
+          if (gd[static_cast<std::size_t>(fs)] != m.group) return std::nullopt;
+        }
+      }
       // Candidate images: unused members of the mapped group.
+      auto avail_of = [&](int g2) {
+        std::vector<int> out_avail;
+        for (int u : groups.group(r.dim, g2).ranks) {
+          if (!used[static_cast<std::size_t>(u)]) out_avail.push_back(u);
+        }
+        return out_avail;
+      };
       std::vector<int> avail;
-      for (int u : gt.ranks) {
-        if (!used[static_cast<std::size_t>(u)]) avail.push_back(u);
+      if (m.group >= 0) avail = avail_of(m.group);
+      if (m.srcs.empty() || avail.size() < r.dsts.size()) {
+        // The structural mapping dead-ends: either every mapped source fell
+        // into a coverage hole, or the mapped group cannot seat the
+        // destinations (a failure can shrink a group to a singleton). Only
+        // hole-ridden dimensions may re-source — on intact topologies the
+        // historical strict mapping is preserved. Pick the first group with
+        // a data-holding, covered source and enough free members; all of its
+        // holders become sources, mirroring how the search picks sources.
+        if (!dim_hole) return std::nullopt;
+        const auto& dim_groups = groups.dims[static_cast<std::size_t>(r.dim)].groups;
+        m.group = -1;
+        for (std::size_t g2 = 0; g2 < dim_groups.size() && m.group < 0; ++g2) {
+          std::vector<int> srcs2;
+          for (int u : dim_groups[g2].ranks) {
+            if (holds[static_cast<std::size_t>(u)]) srcs2.push_back(u);
+          }
+          if (srcs2.empty()) continue;
+          std::vector<int> avail2 = avail_of(static_cast<int>(g2));
+          if (avail2.size() < r.dsts.size()) continue;
+          m.group = static_cast<int>(g2);
+          m.srcs = std::move(srcs2);
+          avail = std::move(avail2);
+        }
+        if (m.group < 0) return std::nullopt;
       }
-      if (avail.size() < r.dsts.size()) return std::nullopt;
 
       // Map relaying destinations first: their image choice decides which
       // group carries the next stage's load.
@@ -170,6 +211,9 @@ std::optional<Sketch> replicate_sketch(const Sketch& sketch, const topo::Topolog
 
       mapped_stage.demands.push_back(std::move(m));
     }
+    for (const SubDemandSpec& m : mapped_stage.demands) {
+      for (int v : m.dsts) holds[static_cast<std::size_t>(v)] = true;
+    }
     out.stages.push_back(std::move(mapped_stage));
   }
 
@@ -182,7 +226,11 @@ std::optional<Sketch> replicate_sketch(const Sketch& sketch, const topo::Topolog
     }
   }
 
-  out.validate(groups);
+  try {
+    out.validate(groups);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // hole substitution cornered itself on this root
+  }
   return out;
 }
 
@@ -352,6 +400,7 @@ std::optional<Sketch> rotate_sketch(const Sketch& sketch, const topo::TopologyGr
       for (int x : r.dsts) m.dsts.push_back(F(x));
       const auto& gd = groups.group_of[static_cast<std::size_t>(r.dim)];
       m.group = gd[static_cast<std::size_t>(m.srcs.front())];
+      if (m.group < 0) return std::nullopt;  // rotated onto an uncovered rank
       for (int x : m.srcs) {
         if (gd[static_cast<std::size_t>(x)] != m.group) return std::nullopt;
       }

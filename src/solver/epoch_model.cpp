@@ -7,28 +7,92 @@
 
 namespace syccl::solver {
 
-std::string SubDemand::isomorphism_key() const {
-  // The key is the demand structure in local indices plus the group
-  // signature. Two demands with the same key on positionally isomorphic
-  // groups accept the same schedule (with local indices re-interpreted).
-  std::ostringstream os;
-  os << (group != nullptr ? group->signature() : "?") << "#s=" << piece_bytes << "#";
-  std::vector<std::string> piece_keys;
-  for (const auto& p : pieces) {
+namespace {
+
+std::vector<int> invert_perm(const std::vector<int>& perm) {
+  std::vector<int> inv(perm.size(), -1);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<int>(i);
+  }
+  return inv;
+}
+
+}  // namespace
+
+SubScheduleRemap CanonicalDemand::to_canonical() const {
+  if (identity) return {};
+  return SubScheduleRemap{member_perm, piece_perm};
+}
+
+SubScheduleRemap CanonicalDemand::from_canonical() const {
+  if (identity) return {};
+  return SubScheduleRemap{invert_perm(member_perm), invert_perm(piece_perm)};
+}
+
+CanonicalDemand SubDemand::canonical() const {
+  // Canonicalise the group first (stable member relabelling under positional
+  // isomorphism), then express every piece in canonical member indices and
+  // sort the pieces by that encoding. Demands with equal keys are identical
+  // in canonical coordinates, so cached canonical schedules transfer exactly.
+  if (group == nullptr) throw std::invalid_argument("sub-demand without group");
+  const topo::GroupTopology::CanonicalForm form = group->canonical_form();
+  const auto& perm = form.perm;
+  const std::size_t np = pieces.size();
+
+  std::vector<std::string> enc(np);
+  for (std::size_t t = 0; t < np; ++t) {
+    const auto& p = pieces[t];
     std::ostringstream ps;
-    std::vector<int> src = p.srcs;
+    std::vector<int> src, dst;
+    src.reserve(p.srcs.size());
+    dst.reserve(p.dsts.size());
+    for (int x : p.srcs) src.push_back(perm.at(static_cast<std::size_t>(x)));
+    for (int x : p.dsts) dst.push_back(perm.at(static_cast<std::size_t>(x)));
     std::sort(src.begin(), src.end());
+    std::sort(dst.begin(), dst.end());
     for (int x : src) ps << x << ",";
     ps << ":";
-    std::vector<int> d = p.dsts;
-    std::sort(d.begin(), d.end());
-    for (int x : d) ps << x << ",";
-    piece_keys.push_back(ps.str());
+    for (int x : dst) ps << x << ",";
+    enc[t] = ps.str();
   }
-  std::sort(piece_keys.begin(), piece_keys.end());
-  for (const auto& k : piece_keys) os << k << ";";
-  return os.str();
+
+  // Canonical piece order: by encoding, ties by list position. Ties are
+  // pieces indistinguishable in canonical coordinates, so any consistent
+  // order is sound.
+  std::vector<std::size_t> ord(np);
+  for (std::size_t t = 0; t < np; ++t) ord[t] = t;
+  std::sort(ord.begin(), ord.end(), [&](std::size_t a, std::size_t b) {
+    if (enc[a] != enc[b]) return enc[a] < enc[b];
+    return a < b;
+  });
+
+  CanonicalDemand out;
+  out.member_perm = perm;
+  out.piece_perm.assign(np, -1);
+  for (std::size_t k = 0; k < np; ++k) {
+    const int id = pieces[ord[k]].id;
+    if (id < 0 || static_cast<std::size_t>(id) >= np || out.piece_perm[static_cast<std::size_t>(id)] != -1) {
+      throw std::invalid_argument("sub-demand piece ids are not a permutation of [0, n)");
+    }
+    out.piece_perm[static_cast<std::size_t>(id)] = static_cast<int>(k);
+  }
+
+  std::ostringstream os;
+  os << form.signature << "#s=" << std::hexfloat << piece_bytes << "#";
+  for (std::size_t k = 0; k < np; ++k) os << enc[ord[k]] << ";";
+  out.key = os.str();
+
+  out.identity = true;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] != static_cast<int>(i)) out.identity = false;
+  }
+  for (std::size_t i = 0; i < np; ++i) {
+    if (out.piece_perm[i] != static_cast<int>(i)) out.identity = false;
+  }
+  return out;
 }
+
+std::string SubDemand::isomorphism_key() const { return canonical().key; }
 
 void SubDemand::validate() const {
   if (group == nullptr) throw std::invalid_argument("sub-demand without group");
@@ -125,6 +189,18 @@ SubSchedule remap_sub_schedule(const SubSchedule& sched, const std::vector<int>&
     }
     op.src = mapping[static_cast<std::size_t>(op.src)];
     op.dst = mapping[static_cast<std::size_t>(op.dst)];
+  }
+  return out;
+}
+
+SubSchedule remap_sub_schedule(const SubSchedule& sched, const SubScheduleRemap& remap) {
+  if (remap.is_identity()) return sched;
+  SubSchedule out = remap_sub_schedule(sched, remap.member);
+  for (auto& op : out.ops) {
+    if (op.piece < 0 || static_cast<std::size_t>(op.piece) >= remap.piece.size()) {
+      throw std::invalid_argument("sub-op piece outside remap");
+    }
+    op.piece = remap.piece[static_cast<std::size_t>(op.piece)];
   }
   return out;
 }

@@ -26,14 +26,49 @@ struct DemandPiece {
   std::vector<int> dsts;
 };
 
+/// Remapping of a sub-schedule between two coordinate systems: `member`
+/// relabels op endpoints, `piece` relabels op piece ids. An empty `member`
+/// vector denotes the identity remap.
+struct SubScheduleRemap {
+  std::vector<int> member;  ///< source member index -> target member index
+  std::vector<int> piece;   ///< source piece id -> target piece id
+
+  bool is_identity() const { return member.empty(); }
+};
+
+/// A sub-demand and its group jointly canonicalised (§5.3): `key` is
+/// invariant under any relabelling of members/pieces that preserves the
+/// group structure and demand shape, and the maps carry schedules between
+/// local and canonical coordinates. Demands with equal keys become literally
+/// identical once both are mapped to canonical coordinates, so a schedule
+/// cached canonically transfers to *any* demand with the same key via its
+/// `from_canonical()` remap — this is what makes the cache safe on
+/// heterogeneous (degraded) groups, where the historical position-blind key
+/// served schedules with the slow link in the wrong place.
+struct CanonicalDemand {
+  std::string key;
+  std::vector<int> member_perm;  ///< local member index -> canonical position
+  std::vector<int> piece_perm;   ///< piece id -> canonical piece id
+  bool identity = false;         ///< both maps are identities
+
+  SubScheduleRemap to_canonical() const;    ///< local -> canonical coordinates
+  SubScheduleRemap from_canonical() const;  ///< canonical -> local coordinates
+};
+
 /// A merged sub-demand inside one group at one sketch stage (§5.1).
 struct SubDemand {
   const topo::GroupTopology* group = nullptr;  ///< non-owning
   std::vector<DemandPiece> pieces;
   double piece_bytes = 0.0;
 
-  /// Structural key for isomorphism-class deduplication (§5.3): equal keys on
-  /// isomorphic groups ⇒ solutions are transferable by positional mapping.
+  /// Joint canonical form of (group, demand). Requires piece ids to be a
+  /// permutation of [0, pieces.size()) — build_demand_plan guarantees
+  /// id == index; throws std::invalid_argument otherwise.
+  CanonicalDemand canonical() const;
+
+  /// Structural key for isomorphism-class deduplication (§5.3):
+  /// `canonical().key`. Equal keys ⇒ solutions transfer through the
+  /// canonical remaps (see CanonicalDemand).
   std::string isomorphism_key() const;
 
   /// Throws std::invalid_argument on malformed demands (bad locals, empty).
@@ -76,5 +111,9 @@ void check_sub_schedule(const SubDemand& demand, const SubSchedule& sched);
 /// Remaps a sub-schedule onto an isomorphic group via a local-index mapping
 /// (identity-length permutation), used by isomorphism-class dedup (§5.3).
 SubSchedule remap_sub_schedule(const SubSchedule& sched, const std::vector<int>& mapping);
+
+/// Full remap: relabels op endpoints through `remap.member` and op piece ids
+/// through `remap.piece`. The identity remap returns `sched` unchanged.
+SubSchedule remap_sub_schedule(const SubSchedule& sched, const SubScheduleRemap& remap);
 
 }  // namespace syccl::solver

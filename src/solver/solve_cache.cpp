@@ -75,7 +75,14 @@ SubSchedule SubScheduleCache::get_or_solve(const SubDemand& demand,
                                            const MilpSchedulerOptions& options,
                                            SolveStats* stats) {
   SYCCL_TRACE_SPAN(span, "solve_cache.lookup", "cache");
-  const std::string key = demand.isomorphism_key() + '\n' + options_fingerprint(options);
+  // Entries are stored in *canonical* coordinates (CanonicalDemand): the key
+  // is invariant under member/piece relabelling, and hits are remapped into
+  // this demand's local coordinates. A miss solves locally and publishes the
+  // canonicalised result, so any later demand with the same key — e.g. the
+  // same degradation pattern at a different rank — receives a correctly
+  // repositioned schedule instead of an identity-mapped one.
+  const CanonicalDemand canon = demand.canonical();
+  const std::string key = canon.key + '\n' + options_fingerprint(options);
   Shard& shard = shard_for(key);
 
   std::promise<SubSchedule> promise;
@@ -95,7 +102,7 @@ SubSchedule SubScheduleCache::get_or_solve(const SubDemand& demand,
         *stats = SolveStats{};
         stats->cache_hit = true;
       }
-      return future.get();
+      return remap_sub_schedule(future.get(), canon.from_canonical());
     }
     ++shard.misses;
     misses_counter().add(1);
@@ -118,7 +125,7 @@ SubSchedule SubScheduleCache::get_or_solve(const SubDemand& demand,
     promise.set_exception(std::current_exception());
     throw;
   }
-  promise.set_value(result);
+  promise.set_value(remap_sub_schedule(result, canon.to_canonical()));
 
   {
     std::lock_guard<std::mutex> lock(shard.mutex);

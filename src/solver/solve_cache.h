@@ -4,12 +4,15 @@
 // synthesis, but size sweeps, the RS/AG phases of AllReduce and repeated
 // `synthesize()` calls re-solve the same isomorphism classes from scratch.
 // This cache memoises `solve_sub_demand` results process-wide, keyed on
-// (SubDemand::isomorphism_key(), MilpSchedulerOptions fingerprint) — the
+// (SubDemand::canonical().key, MilpSchedulerOptions fingerprint) — the
 // fingerprint includes E, so coarse and fine passes occupy distinct entries.
 //
-// Isomorphism keys embed the group signature and the demand structure in
-// local indices, so a cached SubSchedule (local indices only) is directly
-// reusable on any demand with the same key.
+// Entries are stored in canonical coordinates: keys are invariant under
+// member/piece relabelling (the group's canonical form plus the demand in
+// canonical indices), schedules are canonicalised on insert and remapped
+// into the requesting demand's local coordinates on a hit. Two groups with
+// the same degradation pattern at different ranks therefore share one entry
+// *and* each receives the schedule with the slow link in the right place.
 //
 // Concurrency: the map is sharded by key hash, each shard behind its own
 // mutex. In-flight solves are published as shared futures, so two threads

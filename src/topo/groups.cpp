@@ -116,30 +116,110 @@ double GroupTopology::pair_beta(int i, int j) const {
   return std::max(up[static_cast<std::size_t>(i)].beta, down[static_cast<std::size_t>(j)].beta);
 }
 
-std::string GroupTopology::signature() const {
-  // Count port sharing: how many members share each up-port.
-  std::map<int, int> up_share;
-  for (const auto& p : up) ++up_share[p.port_id];
-  std::multiset<int> share_shape;
-  for (const auto& [port, count] : up_share) share_shape.insert(count);
+namespace {
 
-  std::ostringstream os;
-  os << "n=" << ranks.size() << ";";
-  // Parameter multiset (rounded to avoid float noise).
-  std::multiset<std::string> port_params;
-  for (std::size_t i = 0; i < ranks.size(); ++i) {
-    std::ostringstream p;
-    p << static_cast<long long>(up[i].alpha * 1e12) << "/"
-      << static_cast<long long>(up[i].beta * 1e21) << "/"
-      << static_cast<long long>(down[i].alpha * 1e12) << "/"
-      << static_cast<long long>(down[i].beta * 1e21);
-    port_params.insert(p.str());
-  }
-  for (const auto& s : port_params) os << s << "|";
-  os << ";share=";
-  for (int c : share_shape) os << c << ",";
-  return os.str();
+/// Per-member port parameters, rounded to avoid float noise (same
+/// quantisation the historical multiset signature used).
+std::string quantized_params(const GroupTopology& g, std::size_t i) {
+  std::ostringstream p;
+  p << static_cast<long long>(g.up[i].alpha * 1e12) << "/"
+    << static_cast<long long>(g.up[i].beta * 1e21) << "/"
+    << static_cast<long long>(g.down[i].alpha * 1e12) << "/"
+    << static_cast<long long>(g.down[i].beta * 1e21);
+  return p.str();
 }
+
+/// Replaces each member's colour string with its rank among the sorted
+/// distinct strings, so colours are comparable across isomorphic groups
+/// regardless of member order. Returns the number of distinct colours.
+int compress_colors(const std::vector<std::string>& strings, std::vector<int>& colors) {
+  std::map<std::string, int> rank;
+  for (const auto& s : strings) rank.emplace(s, 0);
+  int next = 0;
+  for (auto& [s, r] : rank) r = next++;
+  for (std::size_t i = 0; i < strings.size(); ++i) colors[i] = rank.at(strings[i]);
+  return next;
+}
+
+GroupTopology::CanonicalForm compute_canonical_form(const GroupTopology& g) {
+  const std::size_t n = g.ranks.size();
+  GroupTopology::CanonicalForm form;
+  form.perm.resize(n);
+  if (n == 0) return form;
+
+  // Port-sharing blocks (the partition is what matters; block ids are
+  // renumbered canonically below).
+  std::map<int, std::vector<std::size_t>> up_block, down_block;
+  for (std::size_t i = 0; i < n; ++i) {
+    up_block[g.up[i].port_id].push_back(i);
+    down_block[g.down[i].port_id].push_back(i);
+  }
+
+  // Colour refinement: start from the quantised parameters, then repeatedly
+  // split colours by the colour multiset of each member's up/down blocks.
+  // Refinement only ever splits classes, so it stabilises within n rounds.
+  std::vector<std::string> strings(n);
+  std::vector<int> colors(n, 0);
+  for (std::size_t i = 0; i < n; ++i) strings[i] = quantized_params(g, i);
+  int num_colors = compress_colors(strings, colors);
+  for (std::size_t round = 0; round < n; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::multiset<int> up_peers, down_peers;
+      for (std::size_t j : up_block.at(g.up[i].port_id)) up_peers.insert(colors[j]);
+      for (std::size_t j : down_block.at(g.down[i].port_id)) down_peers.insert(colors[j]);
+      std::ostringstream os;
+      os << colors[i] << "|u:";
+      for (int c : up_peers) os << c << ",";
+      os << "|d:";
+      for (int c : down_peers) os << c << ",";
+      strings[i] = os.str();
+    }
+    const int refined = compress_colors(strings, colors);
+    if (refined == num_colors) break;
+    num_colors = refined;
+  }
+
+  // Canonical order: by final colour, ties by original index. Ties mean the
+  // refinement could not tell the members apart; breaking them by index
+  // keeps the signature deterministic (and merely conservative, see header).
+  std::vector<std::size_t> ord(n);
+  for (std::size_t i = 0; i < n; ++i) ord[i] = i;
+  std::sort(ord.begin(), ord.end(), [&](std::size_t a, std::size_t b) {
+    if (colors[a] != colors[b]) return colors[a] < colors[b];
+    return a < b;
+  });
+  for (std::size_t k = 0; k < n; ++k) form.perm[ord[k]] = static_cast<int>(k);
+
+  // Signature: per canonical position, the parameters plus up/down block ids
+  // renumbered by first appearance along the canonical order. This fully
+  // describes the star topology up to relabelling, so equal signatures give
+  // a concrete positional isomorphism (canonical position -> canonical
+  // position).
+  std::ostringstream os;
+  os << "n=" << n << ";";
+  std::map<int, int> up_renum, down_renum;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = ord[k];
+    const int ub = up_renum.emplace(g.up[i].port_id, static_cast<int>(up_renum.size()))
+                       .first->second;
+    const int db = down_renum.emplace(g.down[i].port_id, static_cast<int>(down_renum.size()))
+                       .first->second;
+    os << quantized_params(g, i) << "/u" << ub << "/d" << db << "|";
+  }
+  form.signature = os.str();
+  return form;
+}
+
+}  // namespace
+
+GroupTopology::CanonicalForm GroupTopology::canonical_form() const {
+  if (!canon_.signature.empty()) return canon_;
+  return compute_canonical_form(*this);
+}
+
+void GroupTopology::freeze_canonical() { canon_ = compute_canonical_form(*this); }
+
+std::string GroupTopology::signature() const { return canonical_form().signature; }
 
 int TopologyGroups::best_common_dim(int rank_a, int rank_b) const {
   for (int d = 0; d < num_dims(); ++d) {
@@ -229,6 +309,7 @@ TopologyGroups extract_groups(const Topology& topo) {
       if (!gt.up.empty()) {
         dim_info.link_kind = topo.link(static_cast<LinkId>(gt.up.front().port_id)).kind;
       }
+      gt.freeze_canonical();
       dim_info.groups.push_back(std::move(gt));
       ++group_index;
     }
@@ -237,28 +318,51 @@ TopologyGroups extract_groups(const Topology& topo) {
     out.group_of.push_back(std::move(group_of_rank));
   }
 
-  // Bandwidth share u_d: sum of distinct up-port bandwidths per dimension,
+  // Bandwidth share u_d: distinct up-port bandwidth per dimension,
   // normalised to 1 across dimensions (§4.2 step 2). Ports are deduplicated
   // *globally*: a higher tier whose bottleneck is a lower tier's port (e.g.
   // spine paths squeezing through the same NIC as the rail) contributes no
   // additional capacity.
+  //
+  // Each dimension counts its ports at the dimension's *modal* β (most
+  // common among its owned ports, ties toward the fastest) rather than
+  // summing per-port 1/β. On homogeneous fabrics the two are identical; on a
+  // fabric with a few degraded links the modal estimate keeps u_d — and
+  // hence the sketch fractions and every sub-demand's piece size — stable,
+  // so incremental re-synthesis after a local degradation re-solves only the
+  // groups that actually touch the changed links instead of invalidating
+  // every cached sub-schedule over a hairline share shift.
   double total = 0.0;
   std::vector<double> per_dim(out.dims.size(), 0.0);
   std::map<int, int> port_owner;  // port id -> first dimension using it
   for (std::size_t d = 0; d < out.dims.size(); ++d) {
     std::map<int, int> shared_with;  // earlier dim -> #ports shared
+    std::map<long long, std::pair<int, double>> beta_count;  // quantised β -> {count, β}
     int own_ports = 0;
     for (const auto& g : out.dims[d].groups) {
       for (const auto& p : g.up) {
         const auto [it, inserted] = port_owner.emplace(p.port_id, static_cast<int>(d));
         if (inserted) {
-          per_dim[d] += 1.0 / p.beta;
+          auto& [count, beta] = beta_count[static_cast<long long>(p.beta * 1e21)];
+          ++count;
+          beta = p.beta;
           ++own_ports;
         } else {
           ++shared_with[it->second];
         }
       }
     }
+    double modal_beta = 0.0;
+    int modal_count = 0;
+    for (const auto& [q, cb] : beta_count) {
+      // Map iteration is by ascending quantised β, so on a tie the fastest
+      // (smallest β) wins.
+      if (cb.first > modal_count) {
+        modal_count = cb.first;
+        modal_beta = cb.second;
+      }
+    }
+    if (modal_beta > 0) per_dim[d] = own_ports / modal_beta;
     total += per_dim[d];
     out.dims[d].capacity_dim = static_cast<int>(d);
     // If the dimension mostly rides on earlier dimensions' ports, its

@@ -68,9 +68,40 @@ struct GroupTopology {
   /// Effective bottleneck β for a transfer between local members i → j.
   double pair_beta(int i, int j) const;
 
-  /// Canonical structural signature; equal signatures ⇒ isomorphic groups
-  /// (same size, same sorted multiset of port parameters and sharing shape).
+  /// Canonical labelling of the group's members under positional isomorphism.
+  /// `perm[i]` is the canonical position of local member i; `signature`
+  /// encodes, per canonical position, the quantised port parameters plus the
+  /// up/down port-sharing blocks (renumbered along the canonical order).
+  ///
+  /// Equal signatures ⇒ mapping canonical position k of one group onto
+  /// canonical position k of the other is a positional isomorphism: the
+  /// encoding pins down everything the sub-demand solver and checker consume
+  /// (per-member α/β and which members serialise on a shared port). The
+  /// converse may not hold when colour refinement leaves symmetric ties —
+  /// two isomorphic groups can then canonicalise differently and merely miss
+  /// a dedup opportunity, which is safe.
+  struct CanonicalForm {
+    std::string signature;
+    std::vector<int> perm;  ///< local member index -> canonical position
+  };
+
+  /// The canonical form, computed on demand. `freeze_canonical()` caches it
+  /// (extract_groups freezes every group so hot paths never recompute);
+  /// hand-built groups that skip freezing just pay the recomputation.
+  CanonicalForm canonical_form() const;
+  void freeze_canonical();
+
+  /// Canonical structural signature (`canonical_form().signature`); equal
+  /// signatures ⇒ the groups are positionally isomorphic under their
+  /// canonical orders. Replaces the historical sorted-multiset encoding,
+  /// which was position-blind: a group with rank 0's link degraded and a
+  /// group with rank 3's link degraded shared a signature, so cached
+  /// sub-schedules could be served with the slow link in the wrong place.
   std::string signature() const;
+
+  /// Cached canonical form (empty signature = not yet computed). Treat as
+  /// private; use canonical_form().
+  CanonicalForm canon_;
 };
 
 /// One dimension: a tier of isomorphic (or categorised) groups.
@@ -78,8 +109,10 @@ struct DimensionInfo {
   int tier = 0;                       ///< hop distance of the backing switches
   std::string link_kind;              ///< kind of the bottleneck links
   std::vector<GroupTopology> groups;
-  /// Aggregate capacity share of this dimension (Σ distinct port bandwidths),
-  /// normalised across dimensions by extract_groups: used as u_d in §4.2.
+  /// Aggregate capacity share of this dimension (distinct up-port count at
+  /// the dimension's modal port bandwidth — robust to a minority of degraded
+  /// links), normalised across dimensions by extract_groups: used as u_d in
+  /// §4.2.
   double bandwidth_share = 0.0;
   /// The dimension whose physical ports this one consumes. A spine tier
   /// whose bottleneck is the rail NICs has capacity_dim = the rail

@@ -1,0 +1,155 @@
+#include "topo/mutate.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace syccl::topo {
+
+namespace {
+
+/// Rebuilds `topo` without the links in `removed`, scaling the links in
+/// `scaled` by {alpha_scale, beta_scale}. Node ids are preserved (insertion
+/// order is replayed); surviving links are renumbered densely.
+MutationResult rebuild(const Topology& topo, const std::set<LinkId>& removed,
+                       const std::map<LinkId, std::pair<double, double>>& scaled) {
+  MutationResult out;
+  out.delta.link_map.assign(topo.num_links(), kInvalidLink);
+  for (const Node& n : topo.nodes()) {
+    out.topo.add_node(n.kind, n.server, n.local_index, n.name);
+  }
+  for (const Link& l : topo.links()) {
+    if (removed.count(l.id) != 0) {
+      out.delta.removed_links.push_back(l.id);
+      continue;
+    }
+    double alpha = l.alpha;
+    double beta = l.beta;
+    const auto it = scaled.find(l.id);
+    if (it != scaled.end()) {
+      alpha *= it->second.first;
+      beta *= it->second.second;
+    }
+    const LinkId id = out.topo.add_link(l.src, l.dst, alpha, beta, l.kind);
+    out.delta.link_map[static_cast<std::size_t>(l.id)] = id;
+    if (it != scaled.end()) out.delta.changed_links.push_back(id);
+  }
+  return out;
+}
+
+LinkId require_link(const Topology& topo, NodeId src, NodeId dst) {
+  const LinkId l = topo.find_link(src, dst);
+  if (l == kInvalidLink) {
+    std::ostringstream os;
+    os << "no link " << src << " -> " << dst;
+    throw std::invalid_argument(os.str());
+  }
+  return l;
+}
+
+void require_scales(double alpha_scale, double beta_scale) {
+  if (alpha_scale <= 0 || beta_scale <= 0) {
+    throw std::invalid_argument("degradation scales must be positive");
+  }
+}
+
+}  // namespace
+
+std::string TopologyDelta::describe() const {
+  std::ostringstream os;
+  if (empty()) return "no-op";
+  if (!changed_links.empty()) {
+    os << "degraded " << changed_links.size() << " link(s) [";
+    for (std::size_t i = 0; i < changed_links.size(); ++i) {
+      os << (i > 0 ? "," : "") << changed_links[i];
+    }
+    os << "]";
+  }
+  if (!removed_links.empty()) {
+    if (!changed_links.empty()) os << "; ";
+    os << "removed " << removed_links.size() << " link(s) [";
+    for (std::size_t i = 0; i < removed_links.size(); ++i) {
+      os << (i > 0 ? "," : "") << removed_links[i];
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+MutationResult degrade_link(const Topology& topo, NodeId src, NodeId dst, double alpha_scale,
+                            double beta_scale) {
+  require_scales(alpha_scale, beta_scale);
+  const LinkId l = require_link(topo, src, dst);
+  return rebuild(topo, {}, {{l, {alpha_scale, beta_scale}}});
+}
+
+MutationResult degrade_duplex(const Topology& topo, NodeId a, NodeId b, double alpha_scale,
+                              double beta_scale) {
+  require_scales(alpha_scale, beta_scale);
+  const LinkId fwd = require_link(topo, a, b);
+  const LinkId rev = require_link(topo, b, a);
+  return rebuild(topo, {},
+                 {{fwd, {alpha_scale, beta_scale}}, {rev, {alpha_scale, beta_scale}}});
+}
+
+MutationResult fail_link(const Topology& topo, NodeId a, NodeId b) {
+  const LinkId fwd = require_link(topo, a, b);
+  std::set<LinkId> removed{fwd};
+  const LinkId rev = topo.find_link(b, a);
+  if (rev != kInvalidLink) removed.insert(rev);
+  MutationResult out = rebuild(topo, removed, {});
+  check_reachability(out.topo);
+  return out;
+}
+
+MutationResult fail_nic(const Topology& topo, NodeId nic) {
+  if (nic < 0 || static_cast<std::size_t>(nic) >= topo.num_nodes() ||
+      topo.node(nic).kind != NodeKind::Nic) {
+    throw std::invalid_argument("fail_nic target is not a NIC node");
+  }
+  std::set<LinkId> removed;
+  for (LinkId l : topo.out_links(nic)) removed.insert(l);
+  for (LinkId l : topo.in_links(nic)) removed.insert(l);
+  if (removed.empty()) throw std::invalid_argument("NIC has no links to fail");
+  MutationResult out = rebuild(topo, removed, {});
+  check_reachability(out.topo);
+  return out;
+}
+
+void check_reachability(const Topology& topo) {
+  if (topo.num_gpus() == 0) throw std::runtime_error("topology has no GPUs");
+  std::vector<bool> seen(topo.num_nodes(), false);
+  std::deque<NodeId> queue;
+  const NodeId start = topo.gpus().front();
+  seen[static_cast<std::size_t>(start)] = true;
+  queue.push_back(start);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    auto relax = [&](NodeId v) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        queue.push_back(v);
+      }
+    };
+    for (LinkId l : topo.out_links(u)) relax(topo.link(l).dst);
+    for (LinkId l : topo.in_links(u)) relax(topo.link(l).src);
+  }
+  for (const Node& n : topo.nodes()) {
+    if (n.kind == NodeKind::Nic) continue;  // dead NICs may dangle
+    if (!seen[static_cast<std::size_t>(n.id)]) {
+      throw std::runtime_error("mutation disconnects node: " + n.name);
+    }
+  }
+}
+
+NodeId node_by_name(const Topology& topo, const std::string& name) {
+  for (const Node& n : topo.nodes()) {
+    if (n.name == name) return n.id;
+  }
+  throw std::invalid_argument("no node named '" + name + "'");
+}
+
+}  // namespace syccl::topo

@@ -1,0 +1,131 @@
+// Multi-tenant contention (sim/contention.h): merged schedules share link
+// timelines, slowdowns are measured against solo runs, and candidate ranking
+// under background traffic prefers schedules that avoid the hot ports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <initializer_list>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/contention.h"
+#include "sim/schedule.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+#include "topo/groups.h"
+
+namespace syccl::sim {
+namespace {
+
+constexpr double kBytes = 64.0 * (1 << 20);
+
+/// One-piece-per-op schedule: each (src, dst) pair moves its own piece.
+Schedule transfers(std::initializer_list<std::pair<int, int>> pairs) {
+  Schedule s;
+  for (const auto& [src, dst] : pairs) {
+    Piece p;
+    p.bytes = kBytes;
+    p.origin = src;
+    const int piece = s.add_piece(p);
+    s.add_op(piece, src, dst, 0);
+  }
+  return s;
+}
+
+class ContentionTest : public ::testing::Test {
+ protected:
+  ContentionTest() : topo_(topo::build_flat_switch(4)), groups_(topo::extract_groups(topo_)) {}
+  topo::Topology topo_;
+  topo::TopologyGroups groups_;
+};
+
+TEST_F(ContentionTest, MergePreservesTenantOrderAndRebasesPieces) {
+  const Schedule a = transfers({{0, 1}, {0, 2}});
+  const Schedule b = transfers({{3, 2}});
+  const std::vector<Tenant> tenants = {{&a, "a"}, {&b, "b"}};
+  const MergedTenants merged = merge_tenants(tenants);
+
+  ASSERT_EQ(merged.schedule.ops.size(), 3u);
+  ASSERT_EQ(merged.schedule.pieces.size(), 3u);
+  // Round-robin: a0, b0, a1.
+  EXPECT_EQ(merged.op_tenant, (std::vector<int>{0, 1, 0}));
+  // Tenant b's piece is re-based past tenant a's two pieces.
+  EXPECT_EQ(merged.schedule.ops[1].piece, 2);
+  EXPECT_EQ(merged.schedule.pieces[2].origin, 3);
+  // Within-tenant op order is preserved.
+  EXPECT_EQ(merged.schedule.ops[0].dst, 1);
+  EXPECT_EQ(merged.schedule.ops[2].dst, 2);
+}
+
+TEST_F(ContentionTest, MergeRejectsNullSchedule) {
+  const std::vector<Tenant> tenants = {{nullptr, "ghost"}};
+  EXPECT_THROW(merge_tenants(tenants), std::invalid_argument);
+}
+
+TEST_F(ContentionTest, SingleTenantMatchesSoloRun) {
+  const Schedule a = transfers({{0, 1}, {1, 2}});
+  const Simulator sim(groups_);
+  const std::vector<Tenant> tenants = {{&a, "only"}};
+  const ContentionResult r = simulate_concurrent(sim, tenants);
+  ASSERT_EQ(r.tenants.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.tenants[0].contended, r.tenants[0].solo);
+  EXPECT_DOUBLE_EQ(r.tenants[0].slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(r.makespan, r.tenants[0].contended);
+}
+
+TEST_F(ContentionTest, SharedPortSerializesTenants) {
+  // Both tenants send from rank 0: the up-port is shared, so the shared run
+  // must be slower than either solo run and at least one tenant slows down.
+  const Schedule a = transfers({{0, 1}});
+  const Schedule b = transfers({{0, 2}});
+  const Simulator sim(groups_);
+  const std::vector<Tenant> tenants = {{&a, "a"}, {&b, "b"}};
+  const ContentionResult r = simulate_concurrent(sim, tenants);
+  ASSERT_EQ(r.tenants.size(), 2u);
+  EXPECT_GE(r.tenants[0].contended, r.tenants[0].solo);
+  EXPECT_GE(r.tenants[1].contended, r.tenants[1].solo);
+  EXPECT_GT(r.makespan, r.tenants[0].solo);
+  EXPECT_GT(r.tenants[0].slowdown * r.tenants[1].slowdown, 1.0);
+}
+
+TEST_F(ContentionTest, DisjointPortsRunConcurrently) {
+  const Schedule a = transfers({{0, 1}});
+  const Schedule b = transfers({{2, 3}});
+  const Simulator sim(groups_);
+  const std::vector<Tenant> tenants = {{&a, "a"}, {&b, "b"}};
+  const ContentionResult r = simulate_concurrent(sim, tenants);
+  EXPECT_DOUBLE_EQ(r.tenants[0].slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(r.tenants[1].slowdown, 1.0);
+}
+
+TEST_F(ContentionTest, RankingPrefersCandidateAvoidingHotLinks) {
+  // Background hammers rank 0's up-port. Candidate A needs that port twice;
+  // candidate B uses disjoint ports. Solo they tie; under contention B wins.
+  const Schedule background = transfers({{0, 1}, {0, 1}, {0, 1}, {0, 1}});
+  const Schedule cand_a = transfers({{0, 2}, {0, 2}});
+  const Schedule cand_b = transfers({{3, 2}, {3, 2}});
+  const Simulator sim(groups_);
+
+  EXPECT_DOUBLE_EQ(sim.run(cand_a).makespan, sim.run(cand_b).makespan);
+
+  const std::vector<const Schedule*> candidates = {&cand_a, &cand_b};
+  const std::vector<Tenant> bg = {{&background, "bg"}};
+  const std::vector<double> finish = rank_under_contention(sim, candidates, bg);
+  ASSERT_EQ(finish.size(), 2u);
+  EXPECT_LT(finish[1], finish[0]);
+}
+
+TEST_F(ContentionTest, RankingReportsInfinityForBrokenCandidate) {
+  Schedule broken = transfers({{0, 1}});
+  broken.ops[0].src = 2;  // piece 0 never present at rank 2 — simulator throws
+  const Schedule fine = transfers({{0, 1}});
+  const Simulator sim(groups_);
+  const std::vector<const Schedule*> candidates = {&broken, &fine};
+  const std::vector<double> finish = rank_under_contention(sim, candidates, {});
+  EXPECT_TRUE(std::isinf(finish[0]));
+  EXPECT_LT(finish[1], finish[0]);
+}
+
+}  // namespace
+}  // namespace syccl::sim

@@ -1,0 +1,153 @@
+// Tests for the topology-mutation API: link degradation, link/NIC failure,
+// delta bookkeeping, reachability checks, and how mutations flow through
+// group extraction.
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+#include "topo/groups.h"
+#include "topo/mutate.h"
+
+namespace syccl::topo {
+namespace {
+
+TEST(Mutate, DegradeLinkScalesParamsAndKeepsIds) {
+  const Topology base = build_single_server(4);
+  const NodeId gpu0 = node_by_name(base, "gpu0");
+  const NodeId sw = node_by_name(base, "nvswitch0");
+  const LinkId old_id = base.find_link(gpu0, sw);
+  ASSERT_NE(old_id, kInvalidLink);
+  const Link before = base.link(old_id);
+
+  const MutationResult m = degrade_link(base, gpu0, sw, 2.0, 4.0);
+  EXPECT_EQ(m.topo.num_links(), base.num_links());
+  EXPECT_EQ(m.topo.num_nodes(), base.num_nodes());
+  // Pure degradation: identity link map, one changed link, nothing removed.
+  ASSERT_EQ(m.delta.changed_links.size(), 1u);
+  EXPECT_TRUE(m.delta.removed_links.empty());
+  EXPECT_EQ(m.delta.link_map[static_cast<std::size_t>(old_id)], old_id);
+  const Link& after = m.topo.link(m.delta.changed_links[0]);
+  EXPECT_DOUBLE_EQ(after.alpha, before.alpha * 2.0);
+  EXPECT_DOUBLE_EQ(after.beta, before.beta * 4.0);
+  // Every other link is untouched.
+  for (const Link& l : base.links()) {
+    if (l.id == old_id) continue;
+    const Link& nl = m.topo.link(m.delta.link_map[static_cast<std::size_t>(l.id)]);
+    EXPECT_DOUBLE_EQ(nl.alpha, l.alpha);
+    EXPECT_DOUBLE_EQ(nl.beta, l.beta);
+  }
+}
+
+TEST(Mutate, DegradeDuplexScalesBothDirections) {
+  const Topology base = build_single_server(4);
+  const NodeId gpu1 = node_by_name(base, "gpu1");
+  const NodeId sw = node_by_name(base, "nvswitch0");
+  const MutationResult m = degrade_duplex(base, gpu1, sw, 1.0, 3.0);
+  ASSERT_EQ(m.delta.changed_links.size(), 2u);
+  for (LinkId l : m.delta.changed_links) {
+    EXPECT_DOUBLE_EQ(m.topo.link(l).beta, base.link(l).beta * 3.0);
+  }
+}
+
+TEST(Mutate, DegradationChangesOnlyTouchedGroupSignatures) {
+  MultiRailSpec spec;
+  spec.num_servers = 2;
+  spec.gpus_per_server = 2;
+  const Topology base = build_multi_rail(spec);
+  const MutationResult m =
+      degrade_duplex(base, node_by_name(base, "gpu1.0"), node_by_name(base, "nvswitch1"),
+                     1.0, 8.0);
+
+  const TopologyGroups gb = extract_groups(base);
+  const TopologyGroups gm = extract_groups(m.topo);
+  ASSERT_EQ(gb.dims.size(), gm.dims.size());
+  int changed = 0, unchanged = 0;
+  for (std::size_t d = 0; d < gb.dims.size(); ++d) {
+    ASSERT_EQ(gb.dims[d].groups.size(), gm.dims[d].groups.size());
+    for (std::size_t g = 0; g < gb.dims[d].groups.size(); ++g) {
+      if (gb.dims[d].groups[g].signature() == gm.dims[d].groups[g].signature()) {
+        ++unchanged;
+      } else {
+        ++changed;
+      }
+    }
+  }
+  // Exactly the degraded server's NVLink group changes; all other groups
+  // (other server, both rails) keep their signatures — this is what lets
+  // incremental re-synthesis reuse their cached sub-schedules.
+  EXPECT_EQ(changed, 1);
+  EXPECT_GE(unchanged, 3);
+  // The modal-β bandwidth share is unaffected by the minority degradation.
+  for (std::size_t d = 0; d < gb.dims.size(); ++d) {
+    EXPECT_DOUBLE_EQ(gb.dims[d].bandwidth_share, gm.dims[d].bandwidth_share);
+  }
+}
+
+TEST(Mutate, FailLinkRemovesDuplexPairAndRenumbers) {
+  MultiRailSpec spec;
+  spec.num_servers = 2;
+  spec.gpus_per_server = 2;
+  const Topology base = build_multi_rail(spec);
+  // Fail one NIC->leaf pair; the GPU keeps NVLink + the other server's rail.
+  const NodeId nic = node_by_name(base, "nic0.1");
+  const NodeId leaf = node_by_name(base, "leaf1");
+  const MutationResult m = fail_link(base, nic, leaf);
+  EXPECT_EQ(m.delta.removed_links.size(), 2u);  // duplex pair
+  EXPECT_EQ(m.topo.num_links(), base.num_links() - 2);
+  for (LinkId old_id : m.delta.removed_links) {
+    EXPECT_EQ(m.delta.link_map[static_cast<std::size_t>(old_id)], kInvalidLink);
+  }
+  // Surviving links keep their parameters under renumbering.
+  for (const Link& l : base.links()) {
+    const LinkId nl = m.delta.link_map[static_cast<std::size_t>(l.id)];
+    if (nl == kInvalidLink) continue;
+    EXPECT_DOUBLE_EQ(m.topo.link(nl).beta, l.beta);
+    EXPECT_EQ(m.topo.link(nl).src, l.src);
+    EXPECT_EQ(m.topo.link(nl).dst, l.dst);
+  }
+  // The mutated topology still group-extracts.
+  EXPECT_NO_THROW(extract_groups(m.topo));
+}
+
+TEST(Mutate, FailNicDropsAllNicLinks) {
+  const Topology base = build_a100_testbed(8);
+  const NodeId nic = node_by_name(base, "nic0.0");
+  const std::size_t nic_links =
+      base.out_links(nic).size() + base.in_links(nic).size();
+  ASSERT_GT(nic_links, 0u);
+  const MutationResult m = fail_nic(base, nic);
+  EXPECT_EQ(m.delta.removed_links.size(), nic_links);
+  EXPECT_NO_THROW(extract_groups(m.topo));
+}
+
+TEST(Mutate, FailLinkThrowsWhenItDisconnects) {
+  // Single server: removing a GPU's only uplink strands it.
+  const Topology base = build_single_server(2);
+  EXPECT_THROW(
+      fail_link(base, node_by_name(base, "gpu0"), node_by_name(base, "nvswitch0")),
+      std::runtime_error);
+}
+
+TEST(Mutate, ErrorPaths) {
+  const Topology base = build_single_server(4);
+  const NodeId gpu0 = node_by_name(base, "gpu0");
+  const NodeId gpu1 = node_by_name(base, "gpu1");
+  // No direct GPU-GPU link in the star topology.
+  EXPECT_THROW(degrade_link(base, gpu0, gpu1, 2.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(degrade_link(base, gpu0, node_by_name(base, "nvswitch0"), 0.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(fail_link(base, gpu0, gpu1), std::invalid_argument);
+  // fail_nic on a non-NIC node.
+  EXPECT_THROW(fail_nic(base, gpu0), std::invalid_argument);
+  EXPECT_THROW(node_by_name(base, "no-such-node"), std::invalid_argument);
+}
+
+TEST(Mutate, DeltaDescribe) {
+  const Topology base = build_single_server(4);
+  const MutationResult m =
+      degrade_link(base, node_by_name(base, "gpu0"), node_by_name(base, "nvswitch0"), 2, 2);
+  EXPECT_NE(m.delta.describe().find("degraded 1 link"), std::string::npos);
+  EXPECT_EQ(TopologyDelta{}.describe(), "no-op");
+}
+
+}  // namespace
+}  // namespace syccl::topo

@@ -1,0 +1,144 @@
+// Incremental re-synthesis (core/resynthesize.h): byte-identity with cold
+// synthesis on the mutated topology, solve-cache reuse for unaffected
+// groups, the empty-delta fast path, and failure-mode re-synthesis.
+#include <gtest/gtest.h>
+
+#include "coll/collective.h"
+#include "core/resynthesize.h"
+#include "core/synthesizer.h"
+#include "solver/solve_cache.h"
+#include "topo/builders.h"
+#include "topo/mutate.h"
+
+namespace syccl::core {
+namespace {
+
+SynthesisConfig fast_config() {
+  SynthesisConfig cfg;
+  cfg.sketch.search.max_sketches = 16;
+  cfg.sketch.max_prototypes = 2;
+  cfg.sketch.combine.max_outputs = 4;
+  cfg.coarse_solver.greedy_only = true;
+  cfg.fine_solver.greedy_only = true;
+  cfg.num_threads = 2;
+  return cfg;
+}
+
+topo::Topology small_fabric() {
+  topo::MultiRailSpec spec;
+  spec.num_servers = 2;
+  spec.gpus_per_server = 2;
+  return topo::build_multi_rail(spec);
+}
+
+void expect_identical(const sim::Schedule& a, const sim::Schedule& b) {
+  ASSERT_EQ(a.pieces.size(), b.pieces.size());
+  for (std::size_t i = 0; i < a.pieces.size(); ++i) {
+    EXPECT_EQ(a.pieces[i].chunk, b.pieces[i].chunk);
+    EXPECT_EQ(a.pieces[i].bytes, b.pieces[i].bytes);
+    EXPECT_EQ(a.pieces[i].origin, b.pieces[i].origin);
+    EXPECT_EQ(a.pieces[i].reduce, b.pieces[i].reduce);
+    EXPECT_EQ(a.pieces[i].contributors, b.pieces[i].contributors);
+  }
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].piece, b.ops[i].piece);
+    EXPECT_EQ(a.ops[i].src, b.ops[i].src);
+    EXPECT_EQ(a.ops[i].dst, b.ops[i].dst);
+    EXPECT_EQ(a.ops[i].dim, b.ops[i].dim);
+    EXPECT_EQ(a.ops[i].phase, b.ops[i].phase);
+  }
+}
+
+TEST(Resynthesize, ByteIdenticalToColdSynthesisAfterDegradation) {
+  const topo::Topology base = small_fabric();
+  const auto coll = coll::make_allgather(4, 1 << 20);
+  const SynthesisConfig cfg = fast_config();
+
+  // Previous fleet state: synthesize on the healthy fabric, warming the
+  // process-wide solve cache.
+  solver::SubScheduleCache::instance().clear();
+  Synthesizer prev_synth(base, cfg);
+  const SynthesisResult previous = prev_synth.synthesize(coll);
+
+  // One NVLink degrades 8x on server 1; re-synthesize incrementally.
+  const topo::MutationResult m =
+      topo::degrade_duplex(base, topo::node_by_name(base, "gpu1.0"),
+                           topo::node_by_name(base, "nvswitch1"), 1.0, 8.0);
+  const ResynthesisReport warm = resynthesize(base, m, coll, cfg, &previous);
+  EXPECT_FALSE(warm.reused_previous);
+  EXPECT_EQ(warm.affected_groups, 1);
+  EXPECT_GE(warm.total_groups, 4);
+  // Unaffected groups' classes come from the warm cache; the degraded
+  // group's classes are re-solved.
+  EXPECT_GT(warm.classes_reused, 0);
+  EXPECT_GT(warm.classes_resolved, 0);
+
+  // Cold reference: cleared cache, full synthesis on the mutated topology.
+  solver::SubScheduleCache::instance().clear();
+  Synthesizer cold_synth(m.topo, cfg);
+  const SynthesisResult cold = cold_synth.synthesize(coll);
+
+  EXPECT_EQ(warm.result.predicted_time, cold.predicted_time);
+  EXPECT_EQ(warm.result.chosen, cold.chosen);
+  expect_identical(warm.result.schedule, cold.schedule);
+  // The incremental pass ran strictly fewer solver calls than the cold one.
+  EXPECT_LT(warm.result.breakdown.num_solver_calls, cold.breakdown.num_solver_calls);
+}
+
+TEST(Resynthesize, EmptyDeltaReturnsPreviousResult) {
+  const topo::Topology base = small_fabric();
+  const auto coll = coll::make_allgather(4, 1 << 20);
+  solver::SubScheduleCache::instance().clear();
+  Synthesizer synth(base, fast_config());
+  const SynthesisResult previous = synth.synthesize(coll);
+
+  topo::MutationResult noop;
+  noop.topo = base;
+  const ResynthesisReport r = resynthesize(base, noop, coll, fast_config(), &previous);
+  EXPECT_TRUE(r.reused_previous);
+  EXPECT_EQ(r.affected_groups, 0);
+  EXPECT_GE(r.total_groups, 4);
+  expect_identical(r.result.schedule, previous.schedule);
+}
+
+TEST(Resynthesize, EmptyDeltaWithoutPreviousStillSynthesizes) {
+  const topo::Topology base = small_fabric();
+  const auto coll = coll::make_allgather(4, 1 << 20);
+  solver::SubScheduleCache::instance().clear();
+  topo::MutationResult noop;
+  noop.topo = base;
+  const ResynthesisReport r = resynthesize(base, noop, coll, fast_config());
+  EXPECT_FALSE(r.reused_previous);
+  EXPECT_EQ(r.affected_groups, 0);
+  EXPECT_FALSE(r.result.schedule.ops.empty());
+}
+
+TEST(Resynthesize, FailedNicReSynthesizesValidSchedule) {
+  topo::MultiRailSpec spec;
+  spec.num_servers = 2;
+  spec.gpus_per_server = 2;
+  const topo::Topology base = topo::build_multi_rail(spec);
+  const auto coll = coll::make_allgather(4, 1 << 20);
+  const SynthesisConfig cfg = fast_config();
+
+  solver::SubScheduleCache::instance().clear();
+  Synthesizer prev_synth(base, cfg);
+  const SynthesisResult previous = prev_synth.synthesize(coll);
+
+  const topo::MutationResult m = topo::fail_nic(base, topo::node_by_name(base, "nic0.1"));
+  const ResynthesisReport r = resynthesize(base, m, coll, cfg, &previous);
+  EXPECT_GE(r.affected_groups, 1);
+  EXPECT_FALSE(r.result.schedule.ops.empty());
+  EXPECT_GT(r.result.predicted_time, 0.0);
+
+  // Still byte-identical to a cold synthesis on the degraded fabric.
+  solver::SubScheduleCache::instance().clear();
+  Synthesizer cold_synth(m.topo, cfg);
+  const SynthesisResult cold = cold_synth.synthesize(coll);
+  EXPECT_EQ(r.result.predicted_time, cold.predicted_time);
+  expect_identical(r.result.schedule, cold.schedule);
+}
+
+}  // namespace
+}  // namespace syccl::core

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,17 +30,45 @@ struct Args {
   std::string corpus;
   int synth_every = 0;  ///< 0 = never run the synthesizer
   int mutants = 2;
+  bool degraded = false;  ///< degraded-topology axis (random fault per case)
   bool verbose = false;
   std::string trace_out;  ///< Chrome trace of the first divergent case
 };
 
-std::uint64_t parse_u64(const std::string& s) {
-  return std::stoull(s, nullptr, 0);  // accepts decimal and 0x...
+void print_usage() {
+  std::cerr << "usage: fuzz_schedules [--cases N] [--seed S] [--synth-every K] "
+               "[--mutants M] [--replay SEED] [--corpus FILE] [--degraded] "
+               "[--trace-out FILE] [--verbose]\n";
+}
+
+/// Strict unsigned parse: decimal or 0x..., whole string, no sign. Returns
+/// nullopt (instead of letting std::stoull throw out of main) on junk or
+/// overflow.
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t value = std::stoull(s, &pos, 0);
+    if (pos != s.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {  // std::invalid_argument, std::out_of_range
+    return std::nullopt;
+  }
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
+    const auto need_u64 = [&]() -> std::optional<std::uint64_t> {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        return std::nullopt;
+      }
+      const std::string v = argv[++i];
+      const auto parsed = parse_u64(v);
+      if (!parsed) std::cerr << "bad value for " << a << ": '" << v << "'\n";
+      return parsed;
+    };
     const auto need_value = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::cerr << "missing value for " << a << "\n";
@@ -48,30 +77,32 @@ bool parse_args(int argc, char** argv, Args& args) {
       return argv[++i];
     };
     if (a == "--cases") {
-      const char* v = need_value();
+      const auto v = need_u64();
       if (!v) return false;
-      args.cases = parse_u64(v);
+      args.cases = *v;
     } else if (a == "--seed") {
-      const char* v = need_value();
+      const auto v = need_u64();
       if (!v) return false;
-      args.seed = parse_u64(v);
+      args.seed = *v;
     } else if (a == "--replay") {
-      const char* v = need_value();
+      const auto v = need_u64();
       if (!v) return false;
-      args.replay.push_back(parse_u64(v));
+      args.replay.push_back(*v);
       args.verbose = true;
     } else if (a == "--corpus") {
       const char* v = need_value();
       if (!v) return false;
       args.corpus = v;
     } else if (a == "--synth-every") {
-      const char* v = need_value();
+      const auto v = need_u64();
       if (!v) return false;
-      args.synth_every = static_cast<int>(parse_u64(v));
+      args.synth_every = static_cast<int>(*v);
     } else if (a == "--mutants") {
-      const char* v = need_value();
+      const auto v = need_u64();
       if (!v) return false;
-      args.mutants = static_cast<int>(parse_u64(v));
+      args.mutants = static_cast<int>(*v);
+    } else if (a == "--degraded") {
+      args.degraded = true;
     } else if (a == "--verbose") {
       args.verbose = true;
     } else if (a == "--trace-out") {
@@ -79,10 +110,7 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (!v) return false;
       args.trace_out = v;
     } else {
-      std::cerr << "unknown argument: " << a << "\n"
-                << "usage: fuzz_schedules [--cases N] [--seed S] [--synth-every K] "
-                   "[--mutants M] [--replay SEED] [--corpus FILE] [--trace-out FILE] "
-                   "[--verbose]\n";
+      std::cerr << "unknown argument: " << a << "\n";
       return false;
     }
   }
@@ -103,7 +131,14 @@ std::vector<std::uint64_t> load_corpus(const std::string& path) {
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
     std::string token;
-    if (ls >> token) seeds.push_back(parse_u64(token));
+    if (ls >> token) {
+      const auto seed = parse_u64(token);
+      if (!seed) {
+        std::cerr << "bad seed in corpus " << path << ": '" << token << "'\n";
+        std::exit(2);
+      }
+      seeds.push_back(*seed);
+    }
   }
   return seeds;
 }
@@ -112,7 +147,10 @@ std::vector<std::uint64_t> load_corpus(const std::string& path) {
 
 int main(int argc, char** argv) {
   Args args;
-  if (!parse_args(argc, argv, args)) return 2;
+  if (!parse_args(argc, argv, args)) {
+    print_usage();
+    return 2;
+  }
 
   struct Job {
     std::uint64_t seed;
@@ -140,6 +178,7 @@ int main(int argc, char** argv) {
     syccl::fuzz::CaseOptions opts;
     opts.with_synthesizer = job.with_synth;
     opts.mutants = args.mutants;
+    opts.degrade_topology = args.degraded;
     // Only the first divergent case dumps a timeline; once written, stop
     // paying for link-event recording.
     if (!trace_written) opts.trace_out = args.trace_out;

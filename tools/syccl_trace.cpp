@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "obs/scenario.h"
@@ -23,20 +24,48 @@ struct Args {
   std::string metrics_path;  ///< overrides <out>/metrics.json when set
 };
 
-/// Accepts decimal with an optional K/M/G suffix (powers of 1024).
-std::uint64_t parse_bytes(const std::string& s) {
-  std::size_t pos = 0;
-  const std::uint64_t value = std::stoull(s, &pos, 0);
-  if (pos == s.size()) return value;
-  if (pos + 1 == s.size()) {
-    switch (s[pos]) {
-      case 'k': case 'K': return value << 10;
-      case 'm': case 'M': return value << 20;
-      case 'g': case 'G': return value << 30;
-      default: break;
+void print_usage() {
+  std::cerr << "usage: syccl_trace [--topo NAME] [--coll NAME] [--bytes N[K|M|G]]\n"
+            << "                   [--threads N] [--tenants N] [--keep-cache] [--out DIR]\n"
+            << "                   [--trace FILE] [--metrics FILE]\n"
+            << "topologies: dgx16, h800x<servers>, a100x<gpus>, flat<gpus>, micro\n"
+            << "            (append @degraded or @failnic for a faulty variant)\n"
+            << "collectives: allreduce allgather reducescatter alltoall broadcast "
+               "scatter gather reduce\n";
+}
+
+/// Accepts decimal with an optional K/M/G suffix (powers of 1024). Returns
+/// nullopt (instead of letting std::stoull throw out of main) on junk,
+/// overflow, or a negative sign.
+std::optional<std::uint64_t> parse_bytes(const std::string& s) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t value = std::stoull(s, &pos, 0);
+    if (pos == s.size()) return value;
+    if (pos + 1 == s.size()) {
+      switch (s[pos]) {
+        case 'k': case 'K': return value << 10;
+        case 'm': case 'M': return value << 20;
+        case 'g': case 'G': return value << 30;
+        default: break;
+      }
     }
+  } catch (const std::exception&) {  // std::invalid_argument, std::out_of_range
   }
-  throw std::invalid_argument("bad size: " + s);
+  return std::nullopt;
+}
+
+/// Strict bounded int parse for count-like flags.
+std::optional<int> parse_int(const std::string& s, int lo, int hi) {
+  try {
+    std::size_t pos = 0;
+    const int value = std::stoi(s, &pos);
+    if (pos != s.size() || value < lo || value > hi) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -60,11 +89,30 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (a == "--bytes") {
       const char* v = need_value();
       if (!v) return false;
-      args.spec.bytes = parse_bytes(v);
+      const auto bytes = parse_bytes(v);
+      if (!bytes) {
+        std::cerr << "bad value for --bytes: '" << v << "'\n";
+        return false;
+      }
+      args.spec.bytes = *bytes;
     } else if (a == "--threads") {
       const char* v = need_value();
       if (!v) return false;
-      args.spec.num_threads = std::stoi(v);
+      const auto threads = parse_int(v, 0, 1 << 10);
+      if (!threads) {
+        std::cerr << "bad value for --threads: '" << v << "'\n";
+        return false;
+      }
+      args.spec.num_threads = *threads;
+    } else if (a == "--tenants") {
+      const char* v = need_value();
+      if (!v) return false;
+      const auto tenants = parse_int(v, 1, 64);
+      if (!tenants) {
+        std::cerr << "bad value for --tenants: '" << v << "'\n";
+        return false;
+      }
+      args.spec.tenants = *tenants;
     } else if (a == "--keep-cache") {
       args.spec.clear_solve_cache = false;
     } else if (a == "--out") {
@@ -80,13 +128,7 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (!v) return false;
       args.metrics_path = v;
     } else {
-      std::cerr << "unknown argument: " << a << "\n"
-                << "usage: syccl_trace [--topo NAME] [--coll NAME] [--bytes N[K|M|G]]\n"
-                << "                   [--threads N] [--keep-cache] [--out DIR]\n"
-                << "                   [--trace FILE] [--metrics FILE]\n"
-                << "topologies: dgx16, h800x<servers>, a100x<gpus>, flat<gpus>, micro\n"
-                << "collectives: allreduce allgather reducescatter alltoall broadcast "
-                   "scatter gather reduce\n";
+      std::cerr << "unknown argument: " << a << "\n";
       return false;
     }
   }
@@ -110,7 +152,10 @@ bool write_file(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   Args args;
-  if (!parse_args(argc, argv, args)) return 2;
+  if (!parse_args(argc, argv, args)) {
+    print_usage();
+    return 2;
+  }
 
   syccl::obs::ScenarioResult result;
   try {
@@ -131,7 +176,15 @@ int main(int argc, char** argv) {
             << result.sim.link_events.size() << " link events)\n"
             << "  synthesis: " << b.total_s << " s total, " << b.num_combinations
             << " combinations, " << b.num_solver_calls << " solver calls, "
-            << b.cache_hits << "/" << b.cache_hits + b.cache_misses << " cache hits\n"
-            << "  wrote " << args.trace_path << " and " << args.metrics_path << "\n";
+            << b.cache_hits << "/" << b.cache_hits + b.cache_misses << " cache hits\n";
+  if (args.spec.tenants > 1) {
+    std::cout << "  contention: " << args.spec.tenants << " tenants, makespan "
+              << result.contention.makespan * 1e6 << " us\n";
+    for (const auto& t : result.contention.tenants) {
+      std::cout << "    " << t.name << ": solo " << t.solo * 1e6 << " us, contended "
+                << t.contended * 1e6 << " us (slowdown " << t.slowdown << "x)\n";
+    }
+  }
+  std::cout << "  wrote " << args.trace_path << " and " << args.metrics_path << "\n";
   return 0;
 }
