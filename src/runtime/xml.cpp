@@ -163,8 +163,18 @@ sim::Schedule from_xml(const std::string& xml) {
   sim::Schedule out;
   const auto name_it = tag.attrs.find("name");
   out.name = name_it != tag.attrs.end() ? name_it->second : "parsed";
+  // Rank bound for endpoint checks; our emitter always writes ngpus. -1
+  // (attribute absent, foreign document) disables the range checks.
+  const int ngpus = tag.attrs.count("ngpus") ? attr_int(tag, "ngpus") : -1;
+  const auto check_rank = [ngpus](int rank, const char* what) {
+    if (rank < 0 || (ngpus >= 0 && rank >= ngpus)) {
+      throw std::invalid_argument(std::string(what) + " rank " + std::to_string(rank) +
+                                  " out of range");
+    }
+  };
 
   int current_gpu = -1;
+  bool closed = false;
   struct ParsedOp {
     int step;
     sim::TransferOp op;
@@ -172,7 +182,10 @@ sim::Schedule from_xml(const std::string& xml) {
   std::vector<ParsedOp> ops;
 
   while (lexer.next(tag)) {
-    if (tag.closing) continue;
+    if (tag.closing) {
+      if (tag.name == "algo") closed = true;
+      continue;
+    }
     if (tag.name == "piece") {
       sim::Piece p;
       const int id = attr_int(tag, "id");
@@ -192,6 +205,7 @@ sim::Schedule from_xml(const std::string& xml) {
       out.pieces.push_back(std::move(p));
     } else if (tag.name == "gpu") {
       current_gpu = attr_int(tag, "id");
+      check_rank(current_gpu, "<gpu>");
     } else if (tag.name == "send") {
       if (current_gpu < 0) throw std::invalid_argument("<send> outside <gpu>");
       ParsedOp po;
@@ -199,6 +213,7 @@ sim::Schedule from_xml(const std::string& xml) {
       po.op.piece = attr_int(tag, "piece");
       po.op.src = current_gpu;
       po.op.dst = attr_int(tag, "dst");
+      check_rank(po.op.dst, "<send> dst");
       po.op.dim = attr_int(tag, "dim");
       po.op.phase = attr_int(tag, "phase");
       ops.push_back(po);
@@ -209,6 +224,12 @@ sim::Schedule from_xml(const std::string& xml) {
     }
   }
 
+  if (!closed) {
+    // A document cut off mid-transfer parses as a shorter, silently wrong
+    // schedule; the emitter always terminates with </algo>, so its absence
+    // means truncation.
+    throw std::invalid_argument("truncated XML: missing </algo>");
+  }
   std::sort(ops.begin(), ops.end(),
             [](const ParsedOp& a, const ParsedOp& b) { return a.step < b.step; });
   for (const auto& po : ops) {

@@ -1,0 +1,266 @@
+#include "serve/broker.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/validate.h"
+#include "sim/simulator.h"
+#include "topo/groups.h"
+
+namespace syccl::serve {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+bool is_rooted(coll::CollKind kind) {
+  switch (kind) {
+    case coll::CollKind::Broadcast:
+    case coll::CollKind::Scatter:
+    case coll::CollKind::Gather:
+    case coll::CollKind::Reduce:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& joins;
+  obs::Counter& rejects;
+  obs::Counter& verify_failures;
+  obs::Histogram& canon_seconds;
+  obs::Histogram& synth_seconds;
+  obs::Histogram& request_seconds;
+
+  static ServeMetrics& instance() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static ServeMetrics m{reg.counter("serve.requests"),
+                          reg.counter("serve.hits"),
+                          reg.counter("serve.misses"),
+                          reg.counter("serve.joins"),
+                          reg.counter("serve.rejects"),
+                          reg.counter("serve.verify_failures"),
+                          reg.histogram("serve.canon_seconds"),
+                          reg.histogram("serve.synth_seconds"),
+                          reg.histogram("serve.request_seconds")};
+    return m;
+  }
+};
+
+}  // namespace
+
+coll::Collective make_serve_collective(coll::CollKind kind, int num_ranks,
+                                       std::uint64_t total_bytes, int root) {
+  switch (kind) {
+    case coll::CollKind::Broadcast:
+      return coll::make_broadcast(num_ranks, total_bytes, root);
+    case coll::CollKind::Scatter:
+      return coll::make_scatter(num_ranks, total_bytes, root);
+    case coll::CollKind::Gather:
+      return coll::make_gather(num_ranks, total_bytes, root);
+    case coll::CollKind::Reduce:
+      return coll::make_reduce(num_ranks, total_bytes, root);
+    case coll::CollKind::AllGather:
+      return coll::make_allgather(num_ranks, total_bytes);
+    case coll::CollKind::AllToAll:
+      return coll::make_alltoall(num_ranks, total_bytes);
+    case coll::CollKind::ReduceScatter:
+      return coll::make_reduce_scatter(num_ranks, total_bytes);
+    case coll::CollKind::AllReduce:
+      return coll::make_allreduce(num_ranks, total_bytes);
+    case coll::CollKind::SendRecv:
+      break;
+  }
+  throw std::invalid_argument("serve does not handle SendRecv");
+}
+
+Broker::Broker(DiskLibrary& library, BrokerConfig config)
+    : library_(library),
+      config_(std::move(config)),
+      pool_(static_cast<std::size_t>(config_.num_threads < 0 ? 0 : config_.num_threads)) {}
+
+ServeResponse Broker::handle(const ServeRequest& request) {
+  auto& metrics = ServeMetrics::instance();
+  SYCCL_TRACE_SPAN(span, "serve.request", "serve");
+  const auto request_start = std::chrono::steady_clock::now();
+  metrics.requests.add();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+
+  const topo::TopologyGroups groups = topo::extract_groups(request.topology);
+  const auto canon_start = std::chrono::steady_clock::now();
+  const CanonicalTopology canon = canonicalize(groups);
+  metrics.canon_seconds.observe(seconds_since(canon_start));
+
+  const std::uint64_t bucket = size_bucket(request.total_bytes);
+  if (is_rooted(request.kind) && (request.root < 0 || request.root >= canon.num_ranks)) {
+    throw BrokerError("root rank out of range");
+  }
+  const int canonical_root =
+      is_rooted(request.kind) ? canon.perm[static_cast<std::size_t>(request.root)] : -1;
+  const std::string key = scenario_key(canon, request.kind, canonical_root, bucket,
+                                       options_fingerprint(config_.synthesis));
+  const coll::Collective coll =
+      make_serve_collective(request.kind, canon.num_ranks, request.total_bytes, request.root);
+
+  // Relabels a canonical-space blob into the caller's rank space at the
+  // caller's size, verifies it, and prices it on the caller's topology.
+  // Throws when the blob does not satisfy the caller's demands.
+  const auto serve_blob = [&](const ScheduleBlob& blob) {
+    ServeResponse response;
+    response.scenario_key = key;
+    response.schedule = blob.schedule;
+    const coll::Collective canon_coll = make_serve_collective(
+        request.kind, canon.num_ranks, request.total_bytes, canonical_root);
+    apply_rank_map(response.schedule, invert_permutation(canon.perm), canon_coll, coll);
+    // chunk_bytes is linear in total_bytes for every collective, so piece
+    // bytes rescale exactly from the synthesis bucket to the caller's size.
+    const double scale =
+        static_cast<double>(request.total_bytes) / static_cast<double>(blob.bucket_bytes);
+    for (auto& piece : response.schedule.pieces) piece.bytes *= scale;
+    if (config_.verify_served) {
+      const runtime::ValidationReport report =
+          runtime::validate_schedule(response.schedule, coll, groups);
+      if (!report.ok) {
+        throw BrokerError("served schedule failed validation: " +
+                          (report.errors.empty() ? "unknown" : report.errors.front()));
+      }
+    }
+    const sim::Simulator simulator(groups, config_.synthesis.sim);
+    response.predicted_time = simulator.time_collective(response.schedule, coll);
+    return response;
+  };
+
+  if (std::optional<ScheduleBlob> stored = library_.get(key)) {
+    try {
+      ServeResponse response = serve_blob(*stored);
+      response.hit = true;
+      metrics.hits.add();
+      metrics.request_seconds.observe(seconds_since(request_start));
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.hits;
+      return response;
+    } catch (const std::exception&) {
+      // A stored entry that no longer verifies (e.g. hand-edited library) is
+      // treated as a miss: fall through and synthesize fresh.
+      metrics.verify_failures.add();
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.verify_failures;
+    }
+  }
+
+  // Miss: join an in-flight synthesis for this key, or start one.
+  std::shared_future<std::shared_ptr<const ScheduleBlob>> future;
+  bool initiator = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = in_flight_.find(key);
+    if (it != in_flight_.end()) {
+      future = it->second;
+    } else {
+      if (in_flight_.size() >= config_.max_in_flight) {
+        metrics.rejects.add();
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.rejects;
+        throw BrokerError("admission limit reached (" +
+                          std::to_string(config_.max_in_flight) + " syntheses in flight)");
+      }
+      initiator = true;
+      // The task captures copies (request owns the topology), so it outlives
+      // any individual requester; it runs on the broker pool while
+      // connection threads block on the future from outside the pool.
+      future = pool_
+                   .submit([this, request, canon, key, bucket] {
+                     return synthesize_blob(request, canon, key, bucket);
+                   })
+                   .share();
+      in_flight_.emplace(key, future);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (initiator) {
+      ++stats_.misses;
+    } else {
+      ++stats_.joins;
+    }
+  }
+  if (initiator) {
+    metrics.misses.add();
+  } else {
+    metrics.joins.add();
+  }
+
+  const auto wait_start = std::chrono::steady_clock::now();
+  std::shared_ptr<const ScheduleBlob> blob;
+  try {
+    blob = future.get();
+  } catch (...) {
+    if (initiator) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_.erase(key);
+    }
+    throw;
+  }
+  if (initiator) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.erase(key);
+  }
+
+  ServeResponse response = serve_blob(*blob);
+  response.joined = !initiator;
+  response.synth_seconds = seconds_since(wait_start);
+  metrics.request_seconds.observe(seconds_since(request_start));
+  return response;
+}
+
+std::shared_ptr<const ScheduleBlob> Broker::synthesize_blob(const ServeRequest& request,
+                                                            const CanonicalTopology& canon,
+                                                            const std::string& key,
+                                                            std::uint64_t bucket) {
+  auto& metrics = ServeMetrics::instance();
+  SYCCL_TRACE_SPAN(span, "serve.synthesize", "serve");
+  const auto start = std::chrono::steady_clock::now();
+
+  core::Synthesizer synthesizer(request.topology, config_.synthesis);
+  const coll::Collective bucket_coll =
+      make_serve_collective(request.kind, canon.num_ranks, bucket, request.root);
+  core::SynthesisResult result = synthesizer.synthesize(bucket_coll);
+
+  auto blob = std::make_shared<ScheduleBlob>();
+  blob->scenario_key = key;
+  blob->num_ranks = canon.num_ranks;
+  blob->bucket_bytes = bucket;
+  blob->predicted_time = result.predicted_time;
+  blob->schedule = std::move(result.schedule);
+  // Store in canonical rank space (ranks AND chunk ids) so every isomorphic
+  // requester can relabel it into their own.
+  const int canonical_root =
+      is_rooted(request.kind) ? canon.perm[static_cast<std::size_t>(request.root)] : -1;
+  const coll::Collective canon_coll =
+      make_serve_collective(request.kind, canon.num_ranks, bucket, canonical_root);
+  apply_rank_map(blob->schedule, canon.perm, bucket_coll, canon_coll);
+  library_.put(*blob);
+
+  metrics.synth_seconds.observe(seconds_since(start));
+  obs::MetricsRegistry::instance().gauge("serve.library_bytes")
+      .set(static_cast<double>(library_.stats().bytes));
+  return blob;
+}
+
+Broker::Stats Broker::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace syccl::serve

@@ -1,0 +1,129 @@
+// Request broker for the schedule-compiler service: the layer between a
+// transport (serve/socket.h, or a test calling it directly) and the
+// synthesis pipeline.
+//
+// Per request: canonicalize the caller's topology, derive the scenario key,
+// and then one of three paths —
+//   hit    the disk library holds the entry; relabel the stored canonical
+//          schedule into the caller's rank space, rescale piece bytes from
+//          the synthesis bucket to the caller's size, verify, serve.
+//   join   another request for the same key is already synthesizing;
+//          block on its shared future instead of synthesizing again
+//          (the same miss-coalescing pattern as solver::SubScheduleCache,
+//          one level up the stack).
+//   miss   admit (bounded by max_in_flight), synthesize at the bucket size
+//          on the worker pool, store canonically, serve.
+//
+// Thread-safe: transports run one thread per connection; synthesis runs on
+// the broker's own pool, so connection threads only ever block on futures —
+// never inside the pool (util/thread_pool.h's deadlock caveat).
+//
+// Instrumented via obs::MetricsRegistry (counters serve.requests/.hits/
+// .misses/.joins/.rejects/.verify_failures, histograms serve.canon_seconds/
+// .synth_seconds/.request_seconds) plus per-broker Stats for tests that must
+// not depend on process-global state.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "core/synthesizer.h"
+#include "serve/canonical.h"
+#include "serve/library.h"
+#include "util/thread_pool.h"
+
+namespace syccl::serve {
+
+class BrokerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct BrokerConfig {
+  /// Synthesis settings; fingerprinted into every scenario key, so brokers
+  /// with different tuning never share library entries.
+  core::SynthesisConfig synthesis;
+  /// Admission bound on concurrently in-flight syntheses; requests beyond
+  /// it are rejected with BrokerError instead of queueing without bound.
+  std::size_t max_in_flight = 64;
+  /// Worker threads for the synthesis pool (0 = hardware concurrency).
+  int num_threads = 0;
+  /// Run the structural validator on every served schedule (hits and
+  /// misses). The α–β re-simulation always runs — it both prices the
+  /// schedule under the caller's labelling and rejects unmet demands.
+  bool verify_served = true;
+};
+
+struct ServeRequest {
+  topo::Topology topology;  ///< the caller's labelling
+  coll::CollKind kind = coll::CollKind::AllGather;
+  /// Root rank for rooted collectives (Broadcast/Scatter/Gather/Reduce);
+  /// ignored otherwise.
+  int root = 0;
+  std::uint64_t total_bytes = 1 << 20;
+};
+
+struct ServeResponse {
+  /// Schedule in the caller's rank labelling at the caller's size.
+  sim::Schedule schedule;
+  /// α–β completion time of `schedule` on the caller's topology (seconds).
+  double predicted_time = 0.0;
+  std::string scenario_key;
+  bool hit = false;     ///< served from the disk library
+  bool joined = false;  ///< coalesced onto a concurrent miss's synthesis
+  /// Synthesis wall-clock this request waited for (0 on library hits).
+  double synth_seconds = 0.0;
+};
+
+/// Builds the collective a serve request describes. Throws
+/// std::invalid_argument for SendRecv (point-to-point; not served) or an
+/// out-of-range root.
+coll::Collective make_serve_collective(coll::CollKind kind, int num_ranks,
+                                       std::uint64_t total_bytes, int root);
+
+class Broker {
+ public:
+  /// The library must outlive the broker.
+  explicit Broker(DiskLibrary& library, BrokerConfig config = {});
+
+  /// Handles one request, blocking until the schedule is available. Throws
+  /// BrokerError when admission rejects, and propagates synthesis errors.
+  ServeResponse handle(const ServeRequest& request);
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;  ///< syntheses this broker initiated
+    std::uint64_t joins = 0;   ///< requests coalesced onto an in-flight miss
+    std::uint64_t rejects = 0;
+    std::uint64_t verify_failures = 0;  ///< hits that failed verification
+  };
+  Stats stats() const;
+
+  const BrokerConfig& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const ScheduleBlob> synthesize_blob(const ServeRequest& request,
+                                                      const CanonicalTopology& canon,
+                                                      const std::string& key,
+                                                      std::uint64_t bucket);
+
+  DiskLibrary& library_;
+  BrokerConfig config_;
+  util::ThreadPool pool_;
+
+  std::mutex mutex_;
+  /// In-flight miss coalescing: scenario key -> the synthesis future every
+  /// concurrent requester of that key waits on.
+  std::map<std::string, std::shared_future<std::shared_ptr<const ScheduleBlob>>> in_flight_;
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace syccl::serve

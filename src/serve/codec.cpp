@@ -1,0 +1,182 @@
+#include "serve/codec.h"
+
+#include <cstring>
+
+#include "serve/canonical.h"
+
+namespace syccl::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'Y', 'S', 'B'};
+
+class Writer {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i32(std::int32_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+  void ints(const std::vector<int>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (int x : v) i32(x);
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  std::uint64_t u64() { return fixed<std::uint64_t>(); }
+  std::int32_t i32() { return fixed<std::int32_t>(); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    require(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  std::vector<int> ints() {
+    const std::uint32_t n = u32();
+    // Elements are ≥4 bytes each; bounding up front prevents a corrupt count
+    // from triggering a giant allocation before the read fails.
+    require(static_cast<std::size_t>(n) * sizeof(std::int32_t));
+    std::vector<int> v(n);
+    for (std::uint32_t i = 0; i < n; ++i) v[i] = i32();
+    return v;
+  }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T fixed() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void require(std::size_t n) {
+    if (data_.size() - pos_ < n) throw CodecError("truncated serve blob");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode_blob(const ScheduleBlob& blob) {
+  Writer payload;
+  payload.str(blob.scenario_key);
+  payload.i32(blob.num_ranks);
+  payload.u64(blob.bucket_bytes);
+  payload.f64(blob.predicted_time);
+  payload.str(blob.schedule.name);
+  payload.u32(static_cast<std::uint32_t>(blob.schedule.pieces.size()));
+  for (const sim::Piece& p : blob.schedule.pieces) {
+    payload.i32(p.chunk);
+    payload.f64(p.bytes);
+    payload.i32(p.origin);
+    payload.u32(p.reduce ? 1 : 0);
+    payload.ints(p.contributors);
+  }
+  payload.u32(static_cast<std::uint32_t>(blob.schedule.ops.size()));
+  for (const sim::TransferOp& op : blob.schedule.ops) {
+    payload.i32(op.piece);
+    payload.i32(op.src);
+    payload.i32(op.dst);
+    payload.i32(op.dim);
+    payload.i32(op.phase);
+  }
+  const std::string body = payload.take();
+
+  Writer framed;
+  framed.u32(kServeVersion);
+  framed.u64(body.size());
+  std::string result(kMagic, sizeof(kMagic));
+  result += framed.take();
+  result += body;
+  Writer tail;
+  tail.u64(fnv1a(body.data(), body.size()));
+  result += tail.take();
+  return result;
+}
+
+ScheduleBlob decode_blob(std::string_view data) {
+  if (data.size() < 4 || std::memcmp(data.data(), kMagic, 4) != 0) {
+    throw CodecError("bad serve blob magic");
+  }
+  Reader in(data.substr(4));
+  const std::uint32_t version = in.u32();
+  if (version != kServeVersion) {
+    throw CodecError("unsupported serve blob version " + std::to_string(version));
+  }
+  const std::uint64_t body_size = in.u64();
+  const std::size_t header_size = 4 + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  if (data.size() != header_size + body_size + sizeof(std::uint64_t)) {
+    throw CodecError("serve blob size mismatch");
+  }
+  const std::string_view body = data.substr(header_size, body_size);
+  std::uint64_t stored_checksum;
+  std::memcpy(&stored_checksum, data.data() + header_size + body_size, sizeof(stored_checksum));
+  if (fnv1a(body.data(), body.size()) != stored_checksum) {
+    throw CodecError("serve blob checksum mismatch");
+  }
+
+  Reader r(body);
+  ScheduleBlob blob;
+  blob.scenario_key = r.str();
+  blob.num_ranks = r.i32();
+  blob.bucket_bytes = r.u64();
+  blob.predicted_time = r.f64();
+  blob.schedule.name = r.str();
+  const std::uint32_t num_pieces = r.u32();
+  blob.schedule.pieces.reserve(num_pieces);
+  for (std::uint32_t i = 0; i < num_pieces; ++i) {
+    sim::Piece p;
+    p.chunk = r.i32();
+    p.bytes = r.f64();
+    p.origin = r.i32();
+    p.reduce = r.u32() != 0;
+    p.contributors = r.ints();
+    blob.schedule.pieces.push_back(std::move(p));
+  }
+  const std::uint32_t num_ops = r.u32();
+  blob.schedule.ops.reserve(num_ops);
+  for (std::uint32_t i = 0; i < num_ops; ++i) {
+    sim::TransferOp op;
+    op.piece = r.i32();
+    op.src = r.i32();
+    op.dst = r.i32();
+    op.dim = r.i32();
+    op.phase = r.i32();
+    blob.schedule.ops.push_back(op);
+  }
+  if (!r.done()) throw CodecError("trailing bytes in serve blob payload");
+  return blob;
+}
+
+}  // namespace syccl::serve

@@ -1,0 +1,59 @@
+// Versioned binary schedule serialisation for the serve library and wire.
+//
+// The MSCCL-XML path (runtime/xml.h) is a human-debuggable artifact format;
+// the library needs something stricter: doubles as bit patterns (byte-exact
+// round trip — XML loses the last digits through decimal), an explicit
+// format version so old libraries miss instead of mis-serving, and an
+// integrity checksum so a torn write or bit rot is detected and quarantined
+// rather than executed.
+//
+// Layout (little-endian, fixed-width):
+//   magic "SYSB" | u32 version | u64 payload size | payload | u64 fnv1a(payload)
+// Payload: scenario key string, rank count, bucket bytes, predicted time,
+// then the schedule (name, pieces, ops). Strings are u32 length + bytes;
+// vectors are u32 count + elements; doubles are their IEEE-754 bit pattern.
+//
+// Guarantees (pinned by ServeCodec tests):
+//   * decode(encode(b)) reproduces every field exactly, doubles bit-for-bit;
+//   * encode(decode(s)) == s for any s produced by encode (byte-exact across
+//     save → reopen);
+//   * any truncation, version skew, or payload corruption throws CodecError
+//     — never returns a partially-decoded blob.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sim/schedule.h"
+
+namespace syccl::serve {
+
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One library/wire entry: a schedule in canonical rank labelling plus the
+/// metadata needed to verify and rescale it.
+struct ScheduleBlob {
+  /// Full scenario key (serve/canonical.h) — verified on library hits so an
+  /// FNV collision degrades to a miss, never a mis-serve.
+  std::string scenario_key;
+  std::int32_t num_ranks = 0;
+  /// Size bucket the schedule was synthesized for; serve rescales piece
+  /// bytes by (request chunk bytes / bucket chunk bytes).
+  std::uint64_t bucket_bytes = 0;
+  /// Simulator-predicted completion time at bucket size (seconds).
+  double predicted_time = 0.0;
+  sim::Schedule schedule;
+};
+
+std::string encode_blob(const ScheduleBlob& blob);
+
+/// Throws CodecError on bad magic, unsupported version, truncation, size
+/// mismatch, or checksum failure.
+ScheduleBlob decode_blob(std::string_view data);
+
+}  // namespace syccl::serve

@@ -1,0 +1,172 @@
+#include "serve/library.h"
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+#include "serve/canonical.h"
+
+namespace fs = std::filesystem;
+
+namespace syccl::serve {
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+void write_file_atomic(const fs::path& path, const std::string& data) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) throw std::runtime_error("cannot write " + tmp.string());
+  }
+  fs::rename(tmp, path);
+}
+
+void append_index(const fs::path& dir, const std::string& line) {
+  std::ofstream out(dir / "index.txt", std::ios::app);
+  out << line << '\n';
+}
+
+}  // namespace
+
+DiskLibrary::DiskLibrary(DiskLibraryConfig config) : config_(std::move(config)) {
+  const fs::path dir(config_.dir);
+  fs::create_directories(dir);
+
+  // Replay the index: later lines win, an evict line drops the key. Entry
+  // files referenced by the surviving set are decoded eagerly so corruption
+  // is discovered (and quarantined) at open, not mid-request.
+  std::map<std::string, std::string> live;  // key hex -> file name
+  {
+    std::ifstream in(dir / "index.txt");
+    std::string verb, hex, file;
+    while (in >> verb >> hex) {
+      if (verb == "entry" && (in >> file)) {
+        live[hex] = file;
+      } else if (verb == "evict") {
+        live.erase(hex);
+      } else {
+        in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      }
+    }
+  }
+
+  for (const auto& [hex, file] : live) {
+    const fs::path entry_path = dir / file;
+    try {
+      std::string encoded = read_file(entry_path);
+      ScheduleBlob blob = decode_blob(encoded);  // validates magic + checksum
+      if (fnv1a_hex(blob.scenario_key) != hex) {
+        throw CodecError("entry file key does not match index");
+      }
+      bytes_ += encoded.size();
+      entries_[blob.scenario_key] = Entry{std::move(encoded), ++tick_};
+    } catch (const std::exception&) {
+      // Move the evidence aside and carry on; the scenario re-synthesizes on
+      // its next request.
+      std::error_code ec;
+      fs::create_directories(dir / "quarantine", ec);
+      fs::rename(entry_path, dir / "quarantine" / file, ec);
+      ++quarantined_;
+    }
+  }
+
+  // Compact: rewrite the index to the entries that actually survived, so
+  // replay cost and evict-line buildup reset on every open.
+  {
+    std::ostringstream compacted;
+    for (const auto& [key, entry] : entries_) {
+      const std::string hex = fnv1a_hex(key);
+      compacted << "entry " << hex << ' ' << hex << ".sched\n";
+    }
+    write_file_atomic(dir / "index.txt", compacted.str());
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  evict_locked();
+}
+
+std::optional<ScheduleBlob> DiskLibrary::get(const std::string& scenario_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(scenario_key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  it->second.last_used = ++tick_;
+  ScheduleBlob blob = decode_blob(it->second.encoded);
+  if (blob.scenario_key != scenario_key) {
+    // Defensive: entries_ is keyed by the decoded key, so this cannot
+    // happen unless memory was corrupted under us.
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return blob;
+}
+
+void DiskLibrary::put(const ScheduleBlob& blob) {
+  std::string encoded = encode_blob(blob);
+  const fs::path dir(config_.dir);
+  const std::string file = file_for(blob.scenario_key);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_file_atomic(dir / file, encoded);
+  auto it = entries_.find(blob.scenario_key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.encoded.size();
+    bytes_ += encoded.size();
+    it->second = Entry{std::move(encoded), ++tick_};
+  } else {
+    bytes_ += encoded.size();
+    entries_[blob.scenario_key] = Entry{std::move(encoded), ++tick_};
+    append_index(dir, "entry " + fnv1a_hex(blob.scenario_key) + ' ' + file);
+  }
+  evict_locked();
+}
+
+DiskLibrary::Stats DiskLibrary::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.quarantined = quarantined_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void DiskLibrary::evict_locked() {
+  const fs::path dir(config_.dir);
+  while (bytes_ > config_.max_bytes && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    const std::string hex = fnv1a_hex(victim->first);
+    std::error_code ec;
+    fs::remove(dir / (hex + ".sched"), ec);
+    append_index(dir, "evict " + hex);
+    bytes_ -= victim->second.encoded.size();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+std::string DiskLibrary::file_for(const std::string& scenario_key) const {
+  return fnv1a_hex(scenario_key) + ".sched";
+}
+
+}  // namespace syccl::serve

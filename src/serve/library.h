@@ -1,0 +1,89 @@
+// Persistent on-disk schedule library (the fleet-wide counterpart of the
+// in-process core::ScheduleLibrary).
+//
+// Layout under one directory:
+//   index.txt            append-friendly text index: "entry <hex> <file>" /
+//                        "evict <hex>" lines; replayed then compacted on
+//                        open, so a crash between a file write and an index
+//                        append loses at most that one entry.
+//   <hex>.sched          one codec blob per entry (hex = fnv1a of the
+//                        scenario key).
+//   quarantine/          corrupt entry files are *moved* here on open, never
+//                        deleted and never served — the request that wanted
+//                        one falls back to synthesis while a human keeps the
+//                        evidence.
+//
+// Entries are held decoded-size-accounted in memory (schedules are a few KB;
+// the byte bound covers both memory and disk) with LRU eviction: evicting
+// removes the file and appends an evict line. get() verifies the stored
+// scenario key against the requested one, so an FNV collision reads as a
+// miss, never a mis-serve. All public methods are thread-safe — broker
+// connection threads and the synthesis pool hit the library concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "serve/codec.h"
+
+namespace syccl::serve {
+
+struct DiskLibraryConfig {
+  std::string dir;
+  /// Byte bound over encoded entries (LRU eviction).
+  std::size_t max_bytes = 256ull << 20;
+};
+
+class DiskLibrary {
+ public:
+  /// Opens (creating the directory if missing) and replays the index.
+  /// Unreadable or corrupt entry files are quarantined, not fatal.
+  explicit DiskLibrary(DiskLibraryConfig config);
+
+  DiskLibrary(const DiskLibrary&) = delete;
+  DiskLibrary& operator=(const DiskLibrary&) = delete;
+
+  /// Returns the blob stored for `scenario_key`, or nullopt.
+  std::optional<ScheduleBlob> get(const std::string& scenario_key);
+
+  /// Inserts (or overwrites) the entry, persisting it to disk first. Throws
+  /// std::runtime_error if the entry file cannot be written.
+  void put(const ScheduleBlob& blob);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t quarantined = 0;  ///< corrupt files moved aside on open
+    std::size_t entries = 0;
+    std::size_t bytes = 0;  ///< encoded bytes of resident entries
+  };
+  Stats stats() const;
+
+  const std::string& dir() const { return config_.dir; }
+  std::size_t max_bytes() const { return config_.max_bytes; }
+
+ private:
+  struct Entry {
+    std::string encoded;  ///< full codec blob (what the file holds)
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_locked();
+  std::string file_for(const std::string& scenario_key) const;
+
+  DiskLibraryConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< scenario key -> entry
+  std::size_t bytes_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t quarantined_ = 0;
+};
+
+}  // namespace syccl::serve

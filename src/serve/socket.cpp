@@ -1,0 +1,137 @@
+#include "serve/socket.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "serve/broker.h"
+
+namespace syccl::serve {
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+FdStream::~FdStream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool FdStream::fill() {
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  char chunk[4096];
+  ssize_t n;
+  do {
+    n = ::read(fd_, chunk, sizeof(chunk));
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return false;
+  buffer_.append(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+bool FdStream::read_line(std::string& line) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      line.assign(buffer_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      return true;
+    }
+    if (!fill()) return false;
+  }
+}
+
+bool FdStream::read_exact(std::string& out, std::size_t n) {
+  while (buffer_.size() - pos_ < n) {
+    if (!fill()) return false;
+  }
+  out.assign(buffer_, pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool FdStream::write_all(std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+UnixServer::UnixServer(const std::string& path) : path_(path) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  const sockaddr_un addr = make_addr(path_);
+  ::unlink(path_.c_str());  // replace a stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    throw std::runtime_error("cannot listen on " + path_ + ": " + err);
+  }
+}
+
+UnixServer::~UnixServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(path_.c_str());
+}
+
+int UnixServer::serve(Broker& broker, DiskLibrary& library, int max_requests) {
+  std::atomic<int> handled{0};
+  std::vector<std::thread> connections;
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (request budget reached) or fatal error
+    }
+    connections.emplace_back([this, fd, &broker, &library, &handled, max_requests] {
+      FdStream stream(fd);
+      const int n = serve_connection(stream, broker, library);
+      if (max_requests > 0 && handled.fetch_add(n) + n >= max_requests) {
+        // Budget reached: wake the accept loop so serve() can return.
+        ::shutdown(listen_fd_, SHUT_RDWR);
+      }
+    });
+  }
+  for (std::thread& t : connections) t.join();
+  return handled.load();
+}
+
+std::unique_ptr<Stream> connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  const sockaddr_un addr = make_addr(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("cannot connect to " + path + ": " + err);
+  }
+  return std::make_unique<FdStream>(fd);
+}
+
+}  // namespace syccl::serve

@@ -1,0 +1,66 @@
+// AF_UNIX transport for the schedule-compiler service.
+//
+// A local stream socket is the right scope for this reproduction: the
+// service shares a machine (or a mount namespace) with its clients, the
+// kernel handles framing-free byte streams, and there is no auth surface.
+// The listener runs one thread per accepted connection — connections are
+// few and long-lived, and the broker already serialises what must be
+// serialised — so a slow synthesis on one connection never blocks another
+// connection's library hits.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace syccl::serve {
+
+/// Buffered protocol stream over a connected file descriptor; owns the fd.
+class FdStream : public Stream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+  ~FdStream() override;
+
+  FdStream(const FdStream&) = delete;
+  FdStream& operator=(const FdStream&) = delete;
+
+  bool read_line(std::string& line) override;
+  bool read_exact(std::string& out, std::size_t n) override;
+  bool write_all(std::string_view data) override;
+
+ private:
+  /// Pulls more bytes into buffer_. False on EOF/error.
+  bool fill();
+
+  int fd_;
+  std::string buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buffer_
+};
+
+/// Listening unix-domain server. Construction binds and listens (replacing
+/// a stale socket file at `path`); destruction closes and unlinks.
+class UnixServer {
+ public:
+  explicit UnixServer(const std::string& path);
+  ~UnixServer();
+
+  UnixServer(const UnixServer&) = delete;
+  UnixServer& operator=(const UnixServer&) = delete;
+
+  /// Accept loop, one serve_connection thread per client. Returns the total
+  /// REQUEST count once `max_requests` (> 0) have been handled and their
+  /// connections drained; max_requests <= 0 serves until the process dies.
+  int serve(Broker& broker, DiskLibrary& library, int max_requests = -1);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  int listen_fd_ = -1;
+  std::string path_;
+};
+
+/// Connects to a serve socket. Throws std::runtime_error on failure.
+std::unique_ptr<Stream> connect_unix(const std::string& path);
+
+}  // namespace syccl::serve

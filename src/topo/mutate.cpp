@@ -145,6 +145,46 @@ void check_reachability(const Topology& topo) {
   }
 }
 
+Topology permute_gpu_ranks(const Topology& topo, const std::vector<int>& perm) {
+  const std::size_t n = topo.num_gpus();
+  if (perm.size() != n) throw std::invalid_argument("permutation size != num_gpus");
+  std::vector<int> inv(n, -1);
+  for (std::size_t r = 0; r < n; ++r) {
+    const int p = perm[r];
+    if (p < 0 || static_cast<std::size_t>(p) >= n || inv[static_cast<std::size_t>(p)] != -1) {
+      throw std::invalid_argument("perm is not a permutation of 0..num_gpus-1");
+    }
+    inv[static_cast<std::size_t>(p)] = static_cast<int>(r);
+  }
+
+  // GPU rank is insertion order among GPUs, and node ids are sequential, so
+  // replaying the node list with the k-th GPU slot holding the GPU of old
+  // rank inv[k] relabels ranks while keeping every node id position stable.
+  // new_id[old id] then only moves GPUs: old rank r lands in slot perm[r].
+  std::vector<NodeId> new_id(topo.num_nodes());
+  for (const Node& node : topo.nodes()) new_id[static_cast<std::size_t>(node.id)] = node.id;
+  for (std::size_t r = 0; r < n; ++r) {
+    new_id[static_cast<std::size_t>(topo.gpus()[r])] =
+        topo.gpus()[static_cast<std::size_t>(perm[r])];
+  }
+
+  Topology out;
+  std::size_t gpu_slot = 0;
+  for (const Node& node : topo.nodes()) {
+    const Node* src = &node;
+    if (node.kind == NodeKind::Gpu) {
+      src = &topo.node(topo.gpus()[static_cast<std::size_t>(inv[gpu_slot])]);
+      ++gpu_slot;
+    }
+    out.add_node(src->kind, src->server, src->local_index, src->name);
+  }
+  for (const Link& l : topo.links()) {
+    out.add_link(new_id[static_cast<std::size_t>(l.src)], new_id[static_cast<std::size_t>(l.dst)],
+                 l.alpha, l.beta, l.kind);
+  }
+  return out;
+}
+
 NodeId node_by_name(const Topology& topo, const std::string& name) {
   for (const Node& n : topo.nodes()) {
     if (n.name == name) return n.id;

@@ -75,4 +75,13 @@ void check_reachability(const Topology& topo);
 /// "nic1.0", ...), so scenario specs and CLI flags address nodes by name.
 NodeId node_by_name(const Topology& topo, const std::string& name);
 
+/// Rebuilds `topo` with its GPU *ranks* relabelled: the GPU that was rank r
+/// becomes rank `perm[r]` in the result. Non-GPU nodes, link parameters and
+/// the physical shape are untouched — the result is exactly isomorphic to
+/// the input, which makes this the reference generator for "a different
+/// consumer labelled the same cluster differently" in the serve tests and
+/// bench. Throws std::invalid_argument if `perm` is not a permutation of
+/// 0..num_gpus-1.
+Topology permute_gpu_ranks(const Topology& topo, const std::vector<int>& perm);
+
 }  // namespace syccl::topo

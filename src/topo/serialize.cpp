@@ -1,12 +1,26 @@
 #include "topo/serialize.h"
 
+#include <charconv>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace syccl::topo {
 
 namespace {
+
+/// Shortest decimal representation that parses back to exactly the same
+/// double (std::to_chars round-trip guarantee). Default ostream precision is
+/// 6 significant digits, which silently truncates profiled α/bandwidth
+/// values — the serve path ships topologies as text, so serialisation must
+/// not perturb the canonical scenario key.
+std::string exact_double(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  if (res.ec != std::errc()) throw std::logic_error("double to_chars failed");
+  return std::string(buf, res.ptr);
+}
 
 const char* kind_name(NodeKind kind) {
   switch (kind) {
@@ -35,8 +49,8 @@ std::string to_text(const Topology& topo) {
        << n.name << "\n";
   }
   for (const Link& l : topo.links()) {
-    os << "link " << topo.node(l.src).name << " " << topo.node(l.dst).name << " " << l.alpha
-       << " " << 1.0 / l.beta << " " << l.kind << "\n";
+    os << "link " << topo.node(l.src).name << " " << topo.node(l.dst).name << " "
+       << exact_double(l.alpha) << " " << exact_double(1.0 / l.beta) << " " << l.kind << "\n";
   }
   return os.str();
 }

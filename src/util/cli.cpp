@@ -1,0 +1,64 @@
+#include "util/cli.h"
+
+namespace syccl::util::cli {
+
+namespace {
+
+/// stoull/stoi skip leading whitespace; strict flags must not.
+bool starts_with_digit(const std::string& s) {
+  return !s.empty() && s[0] >= '0' && s[0] <= '9';
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (!starts_with_digit(s)) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t value = std::stoull(s, &pos, 0);
+    if (pos != s.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {  // std::invalid_argument, std::out_of_range
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> parse_bytes(const std::string& s) {
+  if (!starts_with_digit(s)) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t value = std::stoull(s, &pos, 0);
+    if (pos == s.size()) return value;
+    if (pos + 1 == s.size()) {
+      // Reject suffixed values that would overflow the shift.
+      const auto shifted = [&](int bits) -> std::optional<std::uint64_t> {
+        if (value > (~0ull >> bits)) return std::nullopt;
+        return value << bits;
+      };
+      switch (s[pos]) {
+        case 'k': case 'K': return shifted(10);
+        case 'm': case 'M': return shifted(20);
+        case 'g': case 'G': return shifted(30);
+        default: break;
+      }
+    }
+  } catch (const std::exception&) {  // std::invalid_argument, std::out_of_range
+  }
+  return std::nullopt;
+}
+
+std::optional<int> parse_int(const std::string& s, int lo, int hi) {
+  if (!starts_with_digit(s) && !(s.size() > 1 && s[0] == '-' && s[1] >= '0' && s[1] <= '9')) {
+    return std::nullopt;
+  }
+  try {
+    std::size_t pos = 0;
+    const int value = std::stoi(s, &pos);
+    if (pos != s.size() || value < lo || value > hi) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace syccl::util::cli

@@ -1,0 +1,28 @@
+// Strict numeric CLI parsers shared by the tools.
+//
+// Every tool accepts count- and size-like flags from untrusted command
+// lines; std::stoi/std::stoull throw out of main on junk and silently accept
+// trailing garbage ("12abc"). These helpers parse the *whole* string or
+// return nullopt, never throw, and reject signs on unsigned values — the
+// contract the WILL_FAIL ctest junk-flag tests pin.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace syccl::util::cli {
+
+/// Strict unsigned parse: decimal or 0x..., whole string, no sign. Returns
+/// nullopt on junk or overflow.
+std::optional<std::uint64_t> parse_u64(const std::string& s);
+
+/// Byte count with an optional K/M/G suffix (powers of 1024): "64M", "4096",
+/// "0x100K". Returns nullopt on junk, overflow, or a sign.
+std::optional<std::uint64_t> parse_bytes(const std::string& s);
+
+/// Strict bounded int parse for count-like flags: whole string, value in
+/// [lo, hi]. Returns nullopt otherwise.
+std::optional<int> parse_int(const std::string& s, int lo, int hi);
+
+}  // namespace syccl::util::cli

@@ -44,6 +44,17 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  // A pool with no workers (constructed before ~ThreadPool only) cannot
+  // happen — the constructor always spawns at least one thread — so a posted
+  // task is always eventually run.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   // Single-item batches run inline: avoids queue latency and makes the pool

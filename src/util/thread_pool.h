@@ -16,9 +16,12 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace syccl::util {
@@ -40,7 +43,26 @@ class ThreadPool {
   /// all tasks have drained.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Enqueues a single task and returns its future (fire-and-wait-later, the
+  /// shape serve::Broker needs for asynchronous miss synthesis). Exceptions
+  /// propagate through the future. Unlike parallel_for the caller does not
+  /// participate, so a submit() from within a pool task that then blocks on
+  /// the future can deadlock a fully-busy pool — callers that wait must do so
+  /// from outside the pool (the broker waits on connection threads).
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    post([task] { (*task)(); });
+    return future;
+  }
+
  private:
+  /// Enqueues a type-erased task (submit's untemplated core).
+  void post(std::function<void()> task);
+
+
   void worker_loop();
 
   std::vector<std::thread> workers_;

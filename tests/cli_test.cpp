@@ -1,0 +1,57 @@
+// Tests for the shared strict CLI numeric parsers (util/cli.h); their
+// contract is pinned tool-side by the WILL_FAIL junk-flag ctest cases.
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+
+namespace syccl::util::cli {
+namespace {
+
+TEST(Cli, ParseU64AcceptsDecimalAndHexWholeStringOnly) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("12345"), 12345u);
+  EXPECT_EQ(parse_u64("0x10"), 16u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), ~0ull);
+
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("12abc"));
+  EXPECT_FALSE(parse_u64("abc"));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("+1"));
+  EXPECT_FALSE(parse_u64(" 1"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // 2^64: overflow
+}
+
+TEST(Cli, ParseBytesHandlesSuffixesAndOverflow) {
+  EXPECT_EQ(parse_bytes("4096"), 4096u);
+  EXPECT_EQ(parse_bytes("4K"), 4096u);
+  EXPECT_EQ(parse_bytes("4k"), 4096u);
+  EXPECT_EQ(parse_bytes("64M"), 64u << 20);
+  EXPECT_EQ(parse_bytes("2G"), 2ull << 30);
+  EXPECT_EQ(parse_bytes("0x100K"), 256u << 10);
+
+  EXPECT_FALSE(parse_bytes(""));
+  EXPECT_FALSE(parse_bytes("pizza"));
+  EXPECT_FALSE(parse_bytes("4T"));       // unknown suffix
+  EXPECT_FALSE(parse_bytes("1KB"));      // trailing garbage after suffix
+  EXPECT_FALSE(parse_bytes("-1G"));
+  // The shift itself would overflow: 2^54 G > 2^64.
+  EXPECT_FALSE(parse_bytes("18014398509481984G"));
+  EXPECT_TRUE(parse_bytes("17179869183G"));  // just under 2^64
+}
+
+TEST(Cli, ParseIntEnforcesBounds) {
+  EXPECT_EQ(parse_int("5", 0, 10), 5);
+  EXPECT_EQ(parse_int("0", 0, 10), 0);
+  EXPECT_EQ(parse_int("10", 0, 10), 10);
+  EXPECT_EQ(parse_int("-3", -5, 5), -3);
+
+  EXPECT_FALSE(parse_int("11", 0, 10));
+  EXPECT_FALSE(parse_int("-1", 0, 10));
+  EXPECT_FALSE(parse_int("5x", 0, 10));
+  EXPECT_FALSE(parse_int("", 0, 10));
+  EXPECT_FALSE(parse_int("99999999999999999999", 0, 10));
+}
+
+}  // namespace
+}  // namespace syccl::util::cli

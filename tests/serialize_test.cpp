@@ -1,9 +1,12 @@
 // Tests for the plain-text topology serialisation.
 #include <gtest/gtest.h>
 
+#include "fuzz/generators.h"
+#include "serve/canonical.h"
 #include "topo/builders.h"
 #include "topo/groups.h"
 #include "topo/serialize.h"
+#include "util/rng.h"
 
 namespace syccl::topo {
 namespace {
@@ -54,6 +57,42 @@ duplex g1 sw 1e-6 1e9 nvlink
   EXPECT_EQ(t.num_gpus(), 2u);
   EXPECT_EQ(t.num_links(), 4u);
   EXPECT_NEAR(t.links()[0].beta, 1e-9, 1e-15);
+}
+
+// Randomized round-trip property over the full builder space. alpha is
+// emitted with shortest-round-trip formatting, so it re-parses exactly;
+// beta goes through a bandwidth reciprocal (at most 1 ulp of wobble), and
+// the serialized text is a fixed point: once printed, reparse + reprint is
+// byte-identical. The serve library's canonical keys ride on this — a
+// topology must hash the same before and after a text round trip.
+TEST(SerializeProperty, RandomTopologiesRoundTripExactly) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    util::Rng rng(seed);
+    const fuzz::RandomTopology rt = fuzz::random_topology(rng);
+    const std::string text = to_text(rt.topo);
+    const Topology parsed = from_text(text);
+
+    ASSERT_EQ(parsed.num_nodes(), rt.topo.num_nodes()) << rt.desc;
+    ASSERT_EQ(parsed.num_links(), rt.topo.num_links()) << rt.desc;
+    ASSERT_EQ(parsed.num_gpus(), rt.topo.num_gpus()) << rt.desc;
+    for (std::size_t i = 0; i < rt.topo.num_links(); ++i) {
+      const Link& a = rt.topo.links()[i];
+      const Link& b = parsed.links()[i];
+      EXPECT_EQ(b.alpha, a.alpha) << rt.desc << " link " << i;  // exact
+      EXPECT_DOUBLE_EQ(b.beta, a.beta) << rt.desc << " link " << i;
+      EXPECT_EQ(b.kind, a.kind);
+      EXPECT_EQ(b.src, a.src);
+      EXPECT_EQ(b.dst, a.dst);
+    }
+
+    // Textual fixed point: serialize(parse(text)) == text.
+    EXPECT_EQ(to_text(parsed), text) << rt.desc;
+
+    // Semantic invariance where it matters: the canonical scenario hash.
+    EXPECT_EQ(serve::canonicalize(extract_groups(parsed)).hash,
+              serve::canonicalize(extract_groups(rt.topo)).hash)
+        << rt.desc;
+  }
 }
 
 TEST(Serialize, RejectsMalformedInput) {

@@ -1,0 +1,339 @@
+// Tests for the schedule-compiler service's canonical scenario keys, the
+// binary schedule codec, and the persistent on-disk library.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <random>
+
+#include "obs/scenario.h"
+#include "serve/canonical.h"
+#include "serve/codec.h"
+#include "serve/library.h"
+#include "sim/schedule.h"
+#include "topo/groups.h"
+#include "topo/mutate.h"
+
+namespace syccl::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+CanonicalTopology canon_of(const topo::Topology& t) {
+  return canonicalize(topo::extract_groups(t));
+}
+
+/// Fresh scratch directory under the test temp root.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("syccl_serve_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// ---------------------------------------------------------------- canonical
+
+TEST(ServeCanonical, PermutedRanksProduceIdenticalRendering) {
+  for (const char* name : {"flat8", "dgx16", "h800x2"}) {
+    const topo::Topology original = obs::build_scenario_topology(name);
+    const CanonicalTopology a = canon_of(original);
+
+    const int n = static_cast<int>(original.num_gpus());
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::reverse(perm.begin(), perm.end());
+    const CanonicalTopology b = canon_of(topo::permute_gpu_ranks(original, perm));
+
+    EXPECT_EQ(a.rendering, b.rendering) << name;
+    EXPECT_EQ(a.hash, b.hash) << name;
+    EXPECT_EQ(a.num_ranks, n);
+  }
+}
+
+TEST(ServeCanonical, RandomPermutationsProduceIdenticalHash) {
+  const topo::Topology original = obs::build_scenario_topology("dgx16");
+  const CanonicalTopology base = canon_of(original);
+  const int n = static_cast<int>(original.num_gpus());
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::mt19937 gen(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(perm.begin(), perm.end(), gen);
+    const CanonicalTopology permuted = canon_of(topo::permute_gpu_ranks(original, perm));
+    EXPECT_EQ(base.hash, permuted.hash) << "trial " << trial;
+    // The permutation must be a bijection onto [0, n).
+    std::vector<int> seen(static_cast<std::size_t>(n), 0);
+    for (int p : permuted.perm) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, n);
+      ++seen[static_cast<std::size_t>(p)];
+    }
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), 1), n);
+  }
+}
+
+TEST(ServeCanonical, DistinctTopologiesProduceDistinctHashes) {
+  const std::vector<std::string> names = {"flat4", "flat8", "dgx16", "dgx16@degraded",
+                                          "a100x16", "micro"};
+  std::vector<std::string> hashes;
+  for (const auto& name : names) {
+    hashes.push_back(canon_of(obs::build_scenario_topology(name)).hash);
+  }
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < hashes.size(); ++j) {
+      EXPECT_NE(hashes[i], hashes[j]) << names[i] << " vs " << names[j];
+    }
+  }
+}
+
+TEST(ServeCanonical, AliasedScenarioNamesShareAHash) {
+  // "dgx16" is literally build_h800_cluster(2): the canonical key must unify
+  // the two spellings — that unification is the service's reason to exist.
+  EXPECT_EQ(canon_of(obs::build_scenario_topology("dgx16")).hash,
+            canon_of(obs::build_scenario_topology("h800x2")).hash);
+}
+
+TEST(ServeCanonical, SizeBucketIsPow2CeilingFlooredAt1K) {
+  EXPECT_EQ(size_bucket(1), 1024u);
+  EXPECT_EQ(size_bucket(1024), 1024u);
+  EXPECT_EQ(size_bucket(1025), 2048u);
+  EXPECT_EQ(size_bucket(1u << 20), 1u << 20);
+  EXPECT_EQ(size_bucket((1u << 20) + 1), 2u << 20);
+}
+
+TEST(ServeCanonical, OptionsFingerprintTracksResultAffectingFieldsOnly) {
+  core::SynthesisConfig base;
+  const std::string fp = options_fingerprint(base);
+
+  core::SynthesisConfig tuned = base;
+  tuned.R2 = base.R2 + 1;
+  EXPECT_NE(options_fingerprint(tuned), fp);
+
+  core::SynthesisConfig sim_tuned = base;
+  sim_tuned.sim.max_blocks = base.sim.max_blocks * 2;
+  EXPECT_NE(options_fingerprint(sim_tuned), fp);
+
+  // num_threads and use_solve_cache are pinned byte-identical elsewhere;
+  // they must not split the library.
+  core::SynthesisConfig threads = base;
+  threads.num_threads = 3;
+  threads.use_solve_cache = !base.use_solve_cache;
+  EXPECT_EQ(options_fingerprint(threads), fp);
+}
+
+TEST(ServeCanonical, ScenarioKeySeparatesCollectiveRootAndBucket) {
+  const CanonicalTopology canon = canon_of(obs::build_scenario_topology("flat4"));
+  const std::string fp = options_fingerprint(core::SynthesisConfig{});
+  const std::string base = scenario_key(canon, coll::CollKind::Broadcast, 0, 1024, fp);
+  EXPECT_NE(base, scenario_key(canon, coll::CollKind::AllGather, -1, 1024, fp));
+  EXPECT_NE(base, scenario_key(canon, coll::CollKind::Broadcast, 1, 1024, fp));
+  EXPECT_NE(base, scenario_key(canon, coll::CollKind::Broadcast, 0, 2048, fp));
+  EXPECT_EQ(base, scenario_key(canon, coll::CollKind::Broadcast, 0, 1024, fp));
+}
+
+TEST(ServeCanonical, InvertPermutationRoundTripsAndValidates) {
+  const std::vector<int> perm = {2, 0, 3, 1};
+  const std::vector<int> inv = invert_permutation(perm);
+  EXPECT_EQ(inv, (std::vector<int>{1, 3, 0, 2}));
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[i])], static_cast<int>(i));
+  }
+  EXPECT_THROW(invert_permutation({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(invert_permutation({0, 5}), std::invalid_argument);
+}
+
+TEST(ServeCanonical, ApplyRankMapRemapsEveryEndpoint) {
+  sim::Schedule s;
+  s.pieces = sim::pieces_for(coll::make_reduce(3, 3000, 0));
+  s.add_op(0, 1, 0, 0, 0);
+  s.add_op(0, 2, 0, 1, 1);
+  const std::vector<int> map = {2, 0, 1};
+  apply_rank_map(s, map);
+  EXPECT_EQ(s.ops[0].src, 0);
+  EXPECT_EQ(s.ops[0].dst, 2);
+  EXPECT_EQ(s.ops[1].src, 1);
+  EXPECT_EQ(s.ops[1].dst, 2);
+  EXPECT_EQ(s.ops[0].dim, 0);  // dims are structural, never remapped
+  for (const auto& p : s.pieces) {
+    if (p.origin >= 0) {
+      EXPECT_LT(p.origin, 3);
+    }
+    // Contributors were {0,1,2} in some order; still a permutation of ranks.
+    std::vector<int> c = p.contributors;
+    std::sort(c.begin(), c.end());
+    EXPECT_EQ(c, (std::vector<int>{0, 1, 2}));
+  }
+
+  sim::Schedule bad;
+  bad.pieces = sim::pieces_for(coll::make_broadcast(4, 4096, 0));
+  bad.add_op(0, 0, 3);
+  EXPECT_THROW(apply_rank_map(bad, {0, 1, 2}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- codec
+
+ScheduleBlob sample_blob() {
+  ScheduleBlob blob;
+  blob.scenario_key = "syccl-serve/v1|topo=abc|ranks=4|coll=AllGather|root=-1|bucket=1024|opt=x";
+  blob.num_ranks = 4;
+  blob.bucket_bytes = 1024;
+  blob.predicted_time = 1.0 / 3.0;  // not exactly representable in decimal
+  blob.schedule.name = "sample";
+  blob.schedule.pieces = sim::pieces_for(coll::make_reduce(3, 3000, 0));
+  blob.schedule.pieces[0].bytes = 0.1 * 12345.0;  // exercise bit-exactness
+  blob.schedule.add_op(0, 1, 0, 0, 0);
+  blob.schedule.add_op(0, 2, 0, 1, 1);
+  return blob;
+}
+
+TEST(ServeCodec, RoundTripIsExact) {
+  const ScheduleBlob blob = sample_blob();
+  const std::string encoded = encode_blob(blob);
+  const ScheduleBlob decoded = decode_blob(encoded);
+
+  EXPECT_EQ(decoded.scenario_key, blob.scenario_key);
+  EXPECT_EQ(decoded.num_ranks, blob.num_ranks);
+  EXPECT_EQ(decoded.bucket_bytes, blob.bucket_bytes);
+  // Doubles travel as IEEE-754 bit patterns: equality is exact, not "close".
+  EXPECT_EQ(decoded.predicted_time, blob.predicted_time);
+  ASSERT_EQ(decoded.schedule.pieces.size(), blob.schedule.pieces.size());
+  for (std::size_t i = 0; i < blob.schedule.pieces.size(); ++i) {
+    EXPECT_EQ(decoded.schedule.pieces[i].bytes, blob.schedule.pieces[i].bytes);
+    EXPECT_EQ(decoded.schedule.pieces[i].chunk, blob.schedule.pieces[i].chunk);
+    EXPECT_EQ(decoded.schedule.pieces[i].origin, blob.schedule.pieces[i].origin);
+    EXPECT_EQ(decoded.schedule.pieces[i].reduce, blob.schedule.pieces[i].reduce);
+    EXPECT_EQ(decoded.schedule.pieces[i].contributors, blob.schedule.pieces[i].contributors);
+  }
+  ASSERT_EQ(decoded.schedule.ops.size(), blob.schedule.ops.size());
+  for (std::size_t i = 0; i < blob.schedule.ops.size(); ++i) {
+    EXPECT_EQ(decoded.schedule.ops[i].piece, blob.schedule.ops[i].piece);
+    EXPECT_EQ(decoded.schedule.ops[i].src, blob.schedule.ops[i].src);
+    EXPECT_EQ(decoded.schedule.ops[i].dst, blob.schedule.ops[i].dst);
+    EXPECT_EQ(decoded.schedule.ops[i].dim, blob.schedule.ops[i].dim);
+    EXPECT_EQ(decoded.schedule.ops[i].phase, blob.schedule.ops[i].phase);
+  }
+
+  // encode(decode(s)) == s: the byte-exact save -> reopen guarantee.
+  EXPECT_EQ(encode_blob(decoded), encoded);
+}
+
+TEST(ServeCodec, EveryTruncationThrows) {
+  const std::string encoded = encode_blob(sample_blob());
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_THROW(decode_blob(std::string_view(encoded).substr(0, len)), CodecError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(ServeCodec, CorruptionAnywhereThrows) {
+  const std::string encoded = encode_blob(sample_blob());
+  // Flip one bit in every byte: magic, version, size, payload and checksum
+  // corruption must all be caught.
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    std::string corrupt = encoded;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x01);
+    EXPECT_THROW(decode_blob(corrupt), CodecError) << "byte " << i;
+  }
+}
+
+TEST(ServeCodec, TrailingBytesThrow) {
+  const std::string encoded = encode_blob(sample_blob());
+  EXPECT_THROW(decode_blob(encoded + "x"), CodecError);
+}
+
+// ------------------------------------------------------------------ library
+
+TEST(ServeLibrary, EntriesPersistByteExactAcrossReopen) {
+  const std::string dir = scratch_dir("reopen");
+  ScheduleBlob a = sample_blob();
+  ScheduleBlob b = sample_blob();
+  b.scenario_key += "|other";
+  b.predicted_time = 2.5e-6;
+
+  {
+    DiskLibrary library({dir});
+    library.put(a);
+    library.put(b);
+    EXPECT_TRUE(library.get(a.scenario_key).has_value());
+    EXPECT_FALSE(library.get("no such key").has_value());
+    const auto stats = library.stats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+  }
+
+  DiskLibrary reopened({dir});
+  const auto stats = reopened.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.quarantined, 0u);
+  const auto got = reopened.get(a.scenario_key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(encode_blob(*got), encode_blob(a));
+  EXPECT_EQ(got->predicted_time, a.predicted_time);
+}
+
+TEST(ServeLibrary, CorruptEntryIsQuarantinedNotFatal) {
+  const std::string dir = scratch_dir("quarantine");
+  ScheduleBlob a = sample_blob();
+  ScheduleBlob b = sample_blob();
+  b.scenario_key += "|other";
+  {
+    DiskLibrary library({dir});
+    library.put(a);
+    library.put(b);
+  }
+
+  // Corrupt a's entry file in the middle of the payload.
+  const fs::path entry = fs::path(dir) / (fnv1a_hex(a.scenario_key) + ".sched");
+  ASSERT_TRUE(fs::exists(entry));
+  {
+    std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(entry) / 2));
+    f.put('\xff');
+    f.put('\xff');
+  }
+
+  DiskLibrary reopened({dir});
+  const auto stats = reopened.stats();
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_FALSE(reopened.get(a.scenario_key).has_value());  // falls back to synthesis
+  EXPECT_TRUE(reopened.get(b.scenario_key).has_value());
+  EXPECT_FALSE(fs::exists(entry));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "quarantine" / entry.filename()));
+}
+
+TEST(ServeLibrary, LruEvictionBoundsBytesAndDeletesFiles) {
+  const std::string dir = scratch_dir("lru");
+  ScheduleBlob a = sample_blob();
+  a.scenario_key += "|a";
+  ScheduleBlob b = sample_blob();
+  b.scenario_key += "|b";
+  ScheduleBlob c = sample_blob();
+  c.scenario_key += "|c";
+  const std::size_t entry_bytes = encode_blob(a).size();
+
+  DiskLibrary library({dir, entry_bytes * 2 + entry_bytes / 2});
+  library.put(a);
+  library.put(b);
+  EXPECT_TRUE(library.get(a.scenario_key).has_value());  // a is now most recent
+  library.put(c);                                        // evicts b (LRU)
+
+  EXPECT_FALSE(library.get(b.scenario_key).has_value());
+  EXPECT_TRUE(library.get(a.scenario_key).has_value());
+  EXPECT_TRUE(library.get(c.scenario_key).has_value());
+  const auto stats = library.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, entry_bytes * 2 + entry_bytes / 2);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / (fnv1a_hex(b.scenario_key) + ".sched")));
+
+  DiskLibrary reopened({dir, entry_bytes * 2 + entry_bytes / 2});
+  EXPECT_EQ(reopened.stats().entries, 2u);
+  EXPECT_FALSE(reopened.get(b.scenario_key).has_value());
+}
+
+}  // namespace
+}  // namespace syccl::serve

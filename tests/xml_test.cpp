@@ -79,5 +79,49 @@ TEST(Xml, ParserRejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(Xml, ParserRejectsTruncatedDocument) {
+  // Any prefix of a valid document that cuts the closing </algo> must throw
+  // rather than parse as a shorter schedule (a torn artifact file would
+  // otherwise execute partially).
+  const std::string xml = to_xml(sample_schedule(), 4);
+  const std::size_t close = xml.rfind("</algo>");
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_THROW(from_xml(xml.substr(0, close)), std::invalid_argument);
+  // Cut mid-tag as well.
+  EXPECT_THROW(from_xml(xml.substr(0, close / 2)), std::invalid_argument);
+  // The intact document still parses.
+  EXPECT_NO_THROW(from_xml(xml));
+}
+
+TEST(Xml, ParserRejectsUnknownOpKind) {
+  EXPECT_THROW(from_xml("<algo name=\"x\" ngpus=\"2\"><gpu id=\"0\">"
+                        "<teleport step=\"0\" piece=\"0\" dst=\"1\" dim=\"0\" phase=\"0\" />"
+                        "</gpu></algo>"),
+               std::invalid_argument);
+}
+
+TEST(Xml, ParserRejectsOutOfRangeRanks) {
+  // <gpu id> beyond the declared ngpus.
+  EXPECT_THROW(from_xml("<algo name=\"x\" ngpus=\"2\"><gpu id=\"2\"></gpu></algo>"),
+               std::invalid_argument);
+  EXPECT_THROW(from_xml("<algo name=\"x\" ngpus=\"2\"><gpu id=\"-1\"></gpu></algo>"),
+               std::invalid_argument);
+  // <send dst> beyond the declared ngpus.
+  EXPECT_THROW(
+      from_xml("<algo name=\"x\" ngpus=\"2\">"
+               "<pieces><piece id=\"0\" chunk=\"0\" bytes=\"1024\" origin=\"0\" reduce=\"0\" "
+               "contributors=\"\" /></pieces>"
+               "<gpu id=\"0\"><send step=\"0\" piece=\"0\" dst=\"5\" dim=\"0\" phase=\"0\" />"
+               "</gpu></algo>"),
+      std::invalid_argument);
+  // In range parses fine.
+  EXPECT_NO_THROW(
+      from_xml("<algo name=\"x\" ngpus=\"2\">"
+               "<pieces><piece id=\"0\" chunk=\"0\" bytes=\"1024\" origin=\"0\" reduce=\"0\" "
+               "contributors=\"\" /></pieces>"
+               "<gpu id=\"0\"><send step=\"0\" piece=\"0\" dst=\"1\" dim=\"0\" phase=\"0\" />"
+               "</gpu></algo>"));
+}
+
 }  // namespace
 }  // namespace syccl::runtime

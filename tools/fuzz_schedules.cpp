@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "fuzz/differential.h"
+#include "util/cli.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -41,20 +42,7 @@ void print_usage() {
                "[--trace-out FILE] [--verbose]\n";
 }
 
-/// Strict unsigned parse: decimal or 0x..., whole string, no sign. Returns
-/// nullopt (instead of letting std::stoull throw out of main) on junk or
-/// overflow.
-std::optional<std::uint64_t> parse_u64(const std::string& s) {
-  if (s.empty() || s[0] == '-' || s[0] == '+') return std::nullopt;
-  try {
-    std::size_t pos = 0;
-    const std::uint64_t value = std::stoull(s, &pos, 0);
-    if (pos != s.size()) return std::nullopt;
-    return value;
-  } catch (const std::exception&) {  // std::invalid_argument, std::out_of_range
-    return std::nullopt;
-  }
-}
+using syccl::util::cli::parse_u64;
 
 bool parse_args(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Two-process serve smoke: start the server with a 2-request budget, run the
+# client twice against it (cold miss, then a library hit), require the server
+# to drain and exit 0. Driven by ctest (syccl_serve_client_smoke).
+set -e
+SERVE="$1"
+CLIENT="$2"
+DIR="$3"
+
+SOCK="$DIR/serve_smoke.sock"
+LIB="$DIR/serve_smoke_lib"
+rm -rf "$LIB" "$SOCK"
+
+"$SERVE" --socket "$SOCK" --library "$LIB" --max-requests 2 &
+SERVE_PID=$!
+
+# Wait for the socket to appear (the server prints after listen()).
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "server socket never appeared" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$CLIENT" --socket "$SOCK" --topo flat4 --coll allgather --bytes 1M
+"$CLIENT" --socket "$SOCK" --topo flat4 --coll allgather --bytes 1M \
+  | tee /dev/stderr | grep -q "syccl_client: hit"
+
+wait "$SERVE_PID"

@@ -1,0 +1,242 @@
+// Client for the schedule-compiler service (tools/syccl_serve).
+//
+//   syccl_client --socket /tmp/syccl.sock --ping
+//   syccl_client --socket s.sock --topo dgx16 --coll allgather --bytes 64M
+//   syccl_client --socket s.sock --topo-file cluster.topo --coll allreduce
+//                --bytes 1G --format xml --out sched.xml   (one command line)
+//   syccl_client --socket s.sock --stats
+//
+// The topology is either a named scenario (--topo, obs/scenario.h names) or
+// a topo::from_text file produced by inventory tooling (--topo-file). The
+// returned schedule is written to --out as a serve codec blob (binary) or
+// MSCCL-style XML.
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/scenario.h"
+#include "serve/protocol.h"
+#include "serve/socket.h"
+#include "topo/serialize.h"
+#include "util/cli.h"
+
+namespace {
+
+struct Args {
+  std::string socket_path = "syccl_serve.sock";
+  std::string topo_name;
+  std::string topo_file;
+  std::string coll = "allgather";
+  std::uint64_t bytes = 1 << 20;
+  int root = 0;
+  std::string format = "binary";
+  std::string out_path;
+  bool ping = false;
+  bool stats = false;
+};
+
+void print_usage() {
+  std::cerr << "usage: syccl_client [--socket PATH] (--topo NAME | --topo-file FILE)\n"
+            << "                    [--coll NAME] [--bytes N[K|M|G]] [--root R]\n"
+            << "                    [--format binary|xml] [--out FILE] [--ping] [--stats]\n"
+            << "collectives: allreduce allgather reducescatter alltoall broadcast "
+               "scatter gather reduce\n";
+}
+
+/// Case-insensitive collective name -> protocol kind token ("AllGather").
+std::optional<syccl::coll::CollKind> kind_for_name(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  using syccl::coll::CollKind;
+  for (CollKind kind : {CollKind::Broadcast, CollKind::Scatter, CollKind::Gather,
+                        CollKind::Reduce, CollKind::AllGather, CollKind::AllToAll,
+                        CollKind::ReduceScatter, CollKind::AllReduce}) {
+    std::string kind_lower;
+    for (const char* p = syccl::coll::kind_name(kind); *p; ++p) {
+      kind_lower.push_back(static_cast<char>(std::tolower(*p)));
+    }
+    if (lower == kind_lower) return kind;
+  }
+  return std::nullopt;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  namespace cli = syccl::util::cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.socket_path = v;
+    } else if (a == "--topo") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.topo_name = v;
+    } else if (a == "--topo-file") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.topo_file = v;
+    } else if (a == "--coll") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.coll = v;
+    } else if (a == "--bytes") {
+      const char* v = need_value();
+      if (!v) return false;
+      const auto bytes = cli::parse_bytes(v);
+      if (!bytes || *bytes == 0) {
+        std::cerr << "bad value for --bytes: '" << v << "'\n";
+        return false;
+      }
+      args.bytes = *bytes;
+    } else if (a == "--root") {
+      const char* v = need_value();
+      if (!v) return false;
+      const auto root = cli::parse_int(v, 0, 1 << 20);
+      if (!root) {
+        std::cerr << "bad value for --root: '" << v << "'\n";
+        return false;
+      }
+      args.root = *root;
+    } else if (a == "--format") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.format = v;
+      if (args.format != "binary" && args.format != "xml") {
+        std::cerr << "bad value for --format: '" << v << "' (binary|xml)\n";
+        return false;
+      }
+    } else if (a == "--out") {
+      const char* v = need_value();
+      if (!v) return false;
+      args.out_path = v;
+    } else if (a == "--ping") {
+      args.ping = true;
+    } else if (a == "--stats") {
+      args.stats = true;
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    print_usage();
+    return 2;
+  }
+
+  try {
+    // Validate the request before touching the socket, so usage errors are
+    // reported even when no server is running.
+    std::optional<syccl::coll::CollKind> kind;
+    if (!args.ping && !args.stats) {
+      kind = kind_for_name(args.coll);
+      if (!kind) {
+        std::cerr << "syccl_client: unknown collective '" << args.coll << "'\n";
+        print_usage();
+        return 2;
+      }
+      if (args.topo_file.empty() && args.topo_name.empty()) {
+        std::cerr << "syccl_client: one of --topo / --topo-file is required\n";
+        print_usage();
+        return 2;
+      }
+    }
+
+    auto stream = syccl::serve::connect_unix(args.socket_path);
+
+    if (args.ping) {
+      std::string line;
+      if (!stream->write_all("PING\n") || !stream->read_line(line) || line != "PONG") {
+        std::cerr << "syccl_client: no PONG from " << args.socket_path << "\n";
+        return 1;
+      }
+      std::cout << "PONG\n";
+      return 0;
+    }
+    if (args.stats) {
+      std::string line;
+      if (!stream->write_all("STATS\n") || !stream->read_line(line)) {
+        std::cerr << "syccl_client: no stats response\n";
+        return 1;
+      }
+      std::istringstream header(line);
+      std::string verb;
+      std::size_t n = 0;
+      std::string json;
+      if (!(header >> verb >> n) || verb != "OK" || !stream->read_exact(json, n)) {
+        std::cerr << "syccl_client: malformed stats response '" << line << "'\n";
+        return 1;
+      }
+      std::cout << json << "\n";
+      return 0;
+    }
+
+    syccl::serve::ServeRequest request;
+    request.kind = *kind;
+    request.root = args.root;
+    request.total_bytes = args.bytes;
+    if (!args.topo_file.empty()) {
+      std::ifstream in(args.topo_file);
+      if (!in) {
+        std::cerr << "syccl_client: cannot read " << args.topo_file << "\n";
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      request.topology = syccl::topo::from_text(text.str());
+    } else {
+      request.topology = syccl::obs::build_scenario_topology(args.topo_name);
+    }
+
+    if (!stream->write_all(syccl::serve::encode_request(request, args.format))) {
+      std::cerr << "syccl_client: cannot send request\n";
+      return 1;
+    }
+    syccl::serve::WireResponse response;
+    if (!syccl::serve::read_response(*stream, response)) {
+      std::cerr << "syccl_client: connection closed mid-response\n";
+      return 1;
+    }
+    if (!response.ok) {
+      std::cerr << "syccl_client: server error: " << response.error << "\n";
+      return 1;
+    }
+
+    std::cout << "syccl_client: " << (response.hit ? "hit" : "miss")
+              << (response.joined ? " (joined in-flight synthesis)" : "") << ", predicted "
+              << response.predicted_time * 1e6 << " us\n"
+              << "  key: " << response.scenario_key << "\n"
+              << "  schedule: " << response.payload.size() << " bytes (" << response.format
+              << ")\n";
+    if (!args.out_path.empty()) {
+      std::ofstream out(args.out_path, std::ios::binary);
+      out << response.payload;
+      if (!out) {
+        std::cerr << "syccl_client: cannot write " << args.out_path << "\n";
+        return 1;
+      }
+      std::cout << "  wrote " << args.out_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "syccl_client: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

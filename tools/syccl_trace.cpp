@@ -14,6 +14,7 @@
 #include <string>
 
 #include "obs/scenario.h"
+#include "util/cli.h"
 
 namespace {
 
@@ -34,39 +35,8 @@ void print_usage() {
                "scatter gather reduce\n";
 }
 
-/// Accepts decimal with an optional K/M/G suffix (powers of 1024). Returns
-/// nullopt (instead of letting std::stoull throw out of main) on junk,
-/// overflow, or a negative sign.
-std::optional<std::uint64_t> parse_bytes(const std::string& s) {
-  if (s.empty() || s[0] == '-' || s[0] == '+') return std::nullopt;
-  try {
-    std::size_t pos = 0;
-    const std::uint64_t value = std::stoull(s, &pos, 0);
-    if (pos == s.size()) return value;
-    if (pos + 1 == s.size()) {
-      switch (s[pos]) {
-        case 'k': case 'K': return value << 10;
-        case 'm': case 'M': return value << 20;
-        case 'g': case 'G': return value << 30;
-        default: break;
-      }
-    }
-  } catch (const std::exception&) {  // std::invalid_argument, std::out_of_range
-  }
-  return std::nullopt;
-}
-
-/// Strict bounded int parse for count-like flags.
-std::optional<int> parse_int(const std::string& s, int lo, int hi) {
-  try {
-    std::size_t pos = 0;
-    const int value = std::stoi(s, &pos);
-    if (pos != s.size() || value < lo || value > hi) return std::nullopt;
-    return value;
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-}
+using syccl::util::cli::parse_bytes;
+using syccl::util::cli::parse_int;
 
 bool parse_args(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
