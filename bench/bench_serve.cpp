@@ -9,13 +9,19 @@
 //      the topology must hit the library every time (100% hit rate) — the
 //      canonical scenario key is what makes the service a library rather
 //      than a per-labelling cache.
+//   3. Degraded path: a request whose deadline expires during cold synthesis
+//      is answered with a minimal-budget fallback ≥20× faster than the full
+//      synthesis it stands in for, and the background full synthesis must
+//      land and upgrade the library entry (a later request hits full-budget).
 //
 // Registered under the ctest configuration/label `perf` (`ctest -C perf`).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <numeric>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -109,16 +115,65 @@ int main() {
     if (r.hit && r.scenario_key == cold.scenario_key) ++iso_hits;
   }
 
+  // Degraded path: fresh library, same scenario, a deadline far shorter than
+  // the cold synthesis measured above. The broker must answer with the
+  // minimal-budget fallback right after the deadline and upgrade the entry
+  // once the full synthesis (still running on the pool) lands.
+  const std::filesystem::path ddir = "bench_serve_library_degraded";
+  std::filesystem::remove_all(ddir);
+  serve::DiskLibraryConfig dlib_cfg;
+  dlib_cfg.dir = ddir.string();
+  serve::DiskLibrary dlibrary(dlib_cfg);
+  serve::BrokerConfig dcfg = cfg;
+  // The solve cache is process-global and already warm from the cold run
+  // above; with it on, the "full" synthesis here would finish inside any
+  // deadline and nothing would degrade. Off, this section's full synthesis
+  // costs what the measured cold_s cost.
+  dcfg.synthesis.use_solve_cache = false;
+  serve::Broker dbroker(dlibrary, dcfg);
+
+  const double deadline_s = 0.05;
+  serve::ServeRequest deadline_request = request;
+  deadline_request.deadline_seconds = deadline_s;
+  util::Stopwatch fallback_clock;
+  const serve::ServeResponse degraded = dbroker.handle(deadline_request);
+  const double fallback_elapsed = fallback_clock.elapsed_seconds();
+  if (!degraded.degraded || degraded.hit) {
+    std::fprintf(stderr, "FAIL: deadline request was not served degraded (degraded=%d hit=%d)\n",
+                 degraded.degraded, degraded.hit);
+    return 1;
+  }
+  // Latency the fallback itself cost, beyond the deadline the caller chose.
+  const double fallback_s = std::max(fallback_elapsed - deadline_s, 1e-9);
+
+  util::Stopwatch upgrade_clock;
+  bool upgraded = false;
+  while (upgrade_clock.elapsed_seconds() < cold_s * 20.0 + 60.0) {
+    if (dbroker.stats().upgrades >= 1) {
+      upgraded = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const double upgrade_wait_s = upgrade_clock.elapsed_seconds();
+  const serve::ServeResponse after = dbroker.handle(request);
+  const bool upgraded_hit = after.hit && !after.degraded;
+
   const double speedup = warm_s > 0 ? cold_s / warm_s : 0.0;
+  const double fallback_speedup = fallback_s > 0 ? cold_s / fallback_s : 0.0;
   const double hit_rate = 100.0 * iso_hits / iso_requests;
 
-  char line[512];
+  char line[1024];
   std::snprintf(line, sizeof(line),
                 "{\"bench\":\"serve_warm_hit_multirail2x8_alltoall\",\"bytes\":%llu,"
                 "\"cold_s\":%.6f,\"warm_hit_s\":%.6f,\"speedup\":%.1f,"
-                "\"iso_requests\":%d,\"iso_hits\":%d,\"iso_hit_rate\":%.1f}",
+                "\"iso_requests\":%d,\"iso_hits\":%d,\"iso_hit_rate\":%.1f,"
+                "\"degraded\":{\"deadline_s\":%.3f,\"fallback_s\":%.6f,"
+                "\"fallback_speedup\":%.1f,\"upgrade_wait_s\":%.3f,"
+                "\"upgraded_hit\":%s}}",
                 static_cast<unsigned long long>(bytes), cold_s, warm_s, speedup,
-                iso_requests, iso_hits, hit_rate);
+                iso_requests, iso_hits, hit_rate, deadline_s, fallback_s, fallback_speedup,
+                upgrade_wait_s, upgraded_hit ? "true" : "false");
   benchutil::emit_json("serve", line);
 
   // ---- Gates (acceptance criteria) ----
@@ -129,6 +184,17 @@ int main() {
   }
   if (speedup < 100.0) {
     std::fprintf(stderr, "FAIL: warm hit only %.1fx faster than cold synthesis\n", speedup);
+    return 1;
+  }
+  if (fallback_speedup < 20.0) {
+    std::fprintf(stderr, "FAIL: degraded fallback only %.1fx faster than cold synthesis\n",
+                 fallback_speedup);
+    return 1;
+  }
+  if (!upgraded || !upgraded_hit) {
+    std::fprintf(stderr,
+                 "FAIL: background upgrade never landed (upgraded=%d hit=%d degraded=%d)\n",
+                 upgraded, after.hit, after.degraded);
     return 1;
   }
   return 0;

@@ -8,6 +8,7 @@
 #include "runtime/validate.h"
 #include "sim/simulator.h"
 #include "topo/groups.h"
+#include "util/failpoint.h"
 
 namespace syccl::serve {
 
@@ -36,6 +37,9 @@ struct ServeMetrics {
   obs::Counter& joins;
   obs::Counter& rejects;
   obs::Counter& verify_failures;
+  obs::Counter& degraded_hits;
+  obs::Counter& upgrades;
+  obs::Counter& put_failures;
   obs::Histogram& canon_seconds;
   obs::Histogram& synth_seconds;
   obs::Histogram& request_seconds;
@@ -48,6 +52,9 @@ struct ServeMetrics {
                           reg.counter("serve.joins"),
                           reg.counter("serve.rejects"),
                           reg.counter("serve.verify_failures"),
+                          reg.counter("serve.degraded_hits"),
+                          reg.counter("serve.upgrades"),
+                          reg.counter("serve.put_failures"),
                           reg.histogram("serve.canon_seconds"),
                           reg.histogram("serve.synth_seconds"),
                           reg.histogram("serve.request_seconds")};
@@ -56,6 +63,20 @@ struct ServeMetrics {
 };
 
 }  // namespace
+
+core::SynthesisConfig fallback_synthesis_config(core::SynthesisConfig config) {
+  config.two_step = false;
+  config.coarse_solver.greedy_only = true;
+  config.fine_solver.greedy_only = true;
+  config.sketch.search.max_sketches = 2;
+  config.sketch.max_prototypes = 1;
+  config.sketch.combine.max_outputs = 2;
+  config.R2 = 1;
+  // Runs on the connection thread at a moment the pool is saturated; one
+  // worker keeps the fallback from competing with the full synthesis.
+  config.num_threads = 1;
+  return config;
+}
 
 coll::Collective make_serve_collective(coll::CollKind kind, int num_ranks,
                                        std::uint64_t total_bytes, int root) {
@@ -120,6 +141,7 @@ ServeResponse Broker::handle(const ServeRequest& request) {
     ServeResponse response;
     response.scenario_key = key;
     response.schedule = blob.schedule;
+    response.degraded = blob.degraded;
     const coll::Collective canon_coll = make_serve_collective(
         request.kind, canon.num_ranks, request.total_bytes, canonical_root);
     apply_rank_map(response.schedule, invert_permutation(canon.perm), canon_coll, coll);
@@ -141,14 +163,30 @@ ServeResponse Broker::handle(const ServeRequest& request) {
     return response;
   };
 
+  const auto count_degraded = [&] {
+    metrics.degraded_hits.add();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.degraded_hits;
+  };
+
   if (std::optional<ScheduleBlob> stored = library_.get(key)) {
     try {
       ServeResponse response = serve_blob(*stored);
       response.hit = true;
       metrics.hits.add();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.hits;
+      }
+      if (response.degraded) {
+        // A degraded entry means no full synthesis has landed yet; make
+        // sure one is running (or queued) so the entry eventually upgrades.
+        // The caller is not kept waiting for it.
+        count_degraded();
+        bool started = false;
+        join_or_start(request, canon, key, bucket, started, /*reject_throws=*/false);
+      }
       metrics.request_seconds.observe(seconds_since(request_start));
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.hits;
       return response;
     } catch (const std::exception&) {
       // A stored entry that no longer verifies (e.g. hand-edited library) is
@@ -160,33 +198,9 @@ ServeResponse Broker::handle(const ServeRequest& request) {
   }
 
   // Miss: join an in-flight synthesis for this key, or start one.
-  std::shared_future<std::shared_ptr<const ScheduleBlob>> future;
   bool initiator = false;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = in_flight_.find(key);
-    if (it != in_flight_.end()) {
-      future = it->second;
-    } else {
-      if (in_flight_.size() >= config_.max_in_flight) {
-        metrics.rejects.add();
-        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-        ++stats_.rejects;
-        throw BrokerError("admission limit reached (" +
-                          std::to_string(config_.max_in_flight) + " syntheses in flight)");
-      }
-      initiator = true;
-      // The task captures copies (request owns the topology), so it outlives
-      // any individual requester; it runs on the broker pool while
-      // connection threads block on the future from outside the pool.
-      future = pool_
-                   .submit([this, request, canon, key, bucket] {
-                     return synthesize_blob(request, canon, key, bucket);
-                   })
-                   .share();
-      in_flight_.emplace(key, future);
-    }
-  }
+  std::shared_future<SynthOutcome> future =
+      join_or_start(request, canon, key, bucket, initiator, /*reject_throws=*/true);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (initiator) {
@@ -201,38 +215,103 @@ ServeResponse Broker::handle(const ServeRequest& request) {
     metrics.joins.add();
   }
 
+  const double deadline_s = request.deadline_seconds != 0.0 ? request.deadline_seconds
+                                                            : config_.default_deadline_seconds;
   const auto wait_start = std::chrono::steady_clock::now();
-  std::shared_ptr<const ScheduleBlob> blob;
-  try {
-    blob = future.get();
-  } catch (...) {
-    if (initiator) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      in_flight_.erase(key);
+  if (deadline_s > 0.0) {
+    // The deadline is measured from request arrival: canonicalisation and
+    // admission already spent part of it.
+    const auto deadline_tp =
+        request_start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(deadline_s));
+    if (future.wait_until(deadline_tp) == std::future_status::timeout) {
+      // Deadline expired with the full synthesis still running. Answer now
+      // with a minimal-budget fallback, synthesized here on the connection
+      // thread — the pool is busy with exactly the work we stopped waiting
+      // for. The full synthesis upgrades the library entry when it lands.
+      SYCCL_TRACE_SPAN(fb_span, "serve.fallback", "serve");
+      BlobPtr fallback =
+          synthesize_blob(request, canon, key, bucket,
+                          fallback_synthesis_config(config_.synthesis), /*degraded=*/true);
+      ServeResponse response = serve_blob(*fallback);
+      response.joined = !initiator;
+      response.synth_seconds = seconds_since(wait_start);
+      count_degraded();
+      metrics.request_seconds.observe(seconds_since(request_start));
+      return response;
     }
-    throw;
   }
-  if (initiator) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    in_flight_.erase(key);
-  }
+  const SynthOutcome& outcome = future.get();
+  if (!outcome.blob) throw BrokerError(outcome.error);  // this thread's own exception
 
-  ServeResponse response = serve_blob(*blob);
+  ServeResponse response = serve_blob(*outcome.blob);
   response.joined = !initiator;
   response.synth_seconds = seconds_since(wait_start);
   metrics.request_seconds.observe(seconds_since(request_start));
   return response;
 }
 
-std::shared_ptr<const ScheduleBlob> Broker::synthesize_blob(const ServeRequest& request,
-                                                            const CanonicalTopology& canon,
-                                                            const std::string& key,
-                                                            std::uint64_t bucket) {
+std::shared_future<Broker::SynthOutcome> Broker::join_or_start(const ServeRequest& request,
+                                                               const CanonicalTopology& canon,
+                                                               const std::string& key,
+                                                               std::uint64_t bucket,
+                                                               bool& started,
+                                                               bool reject_throws) {
+  started = false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = in_flight_.find(key);
+  if (it != in_flight_.end()) return it->second;
+
+  if (in_flight_.size() >= config_.max_in_flight) {
+    if (!reject_throws) return {};  // background upgrade: retry on a later hit
+    auto& metrics = ServeMetrics::instance();
+    metrics.rejects.add();
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.rejects;
+    throw BrokerError("admission limit reached (" + std::to_string(config_.max_in_flight) +
+                      " syntheses in flight)");
+  }
+
+  started = true;
+  // The future comes from an explicit promise so the in-flight entry can be
+  // registered *before* the pool task exists: the task erases the entry
+  // itself when done (requesters may abandon the wait at their deadline, so
+  // cleanup cannot be theirs), and must not race its own registration.
+  auto promise = std::make_shared<std::promise<SynthOutcome>>();
+  std::shared_future<SynthOutcome> future = promise->get_future().share();
+  in_flight_.emplace(key, future);
+  // The task captures copies (request owns the topology), so it outlives
+  // any individual requester; it runs on the broker pool while connection
+  // threads block on the future from outside the pool. Failures become a
+  // message in the outcome, never a shared exception object (see
+  // SynthOutcome).
+  pool_.submit([this, promise, request, canon, key, bucket] {
+    SynthOutcome outcome;
+    try {
+      outcome.blob =
+          synthesize_blob(request, canon, key, bucket, config_.synthesis, /*degraded=*/false);
+    } catch (const std::exception& e) {
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.error = "synthesis failed with a non-standard exception";
+    }
+    promise->set_value(std::move(outcome));
+    std::lock_guard<std::mutex> inner(mutex_);
+    in_flight_.erase(key);
+  });
+  return future;
+}
+
+Broker::BlobPtr Broker::synthesize_blob(const ServeRequest& request,
+                                        const CanonicalTopology& canon, const std::string& key,
+                                        std::uint64_t bucket,
+                                        const core::SynthesisConfig& synth, bool degraded) {
   auto& metrics = ServeMetrics::instance();
   SYCCL_TRACE_SPAN(span, "serve.synthesize", "serve");
+  util::failpoint("serve.broker.synthesize");  // error mode: synthesis "fails"
   const auto start = std::chrono::steady_clock::now();
 
-  core::Synthesizer synthesizer(request.topology, config_.synthesis);
+  core::Synthesizer synthesizer(request.topology, synth);
   const coll::Collective bucket_coll =
       make_serve_collective(request.kind, canon.num_ranks, bucket, request.root);
   core::SynthesisResult result = synthesizer.synthesize(bucket_coll);
@@ -242,6 +321,7 @@ std::shared_ptr<const ScheduleBlob> Broker::synthesize_blob(const ServeRequest& 
   blob->num_ranks = canon.num_ranks;
   blob->bucket_bytes = bucket;
   blob->predicted_time = result.predicted_time;
+  blob->degraded = degraded;
   blob->schedule = std::move(result.schedule);
   // Store in canonical rank space (ranks AND chunk ids) so every isomorphic
   // requester can relabel it into their own.
@@ -250,7 +330,19 @@ std::shared_ptr<const ScheduleBlob> Broker::synthesize_blob(const ServeRequest& 
   const coll::Collective canon_coll =
       make_serve_collective(request.kind, canon.num_ranks, bucket, canonical_root);
   apply_rank_map(blob->schedule, canon.perm, bucket_coll, canon_coll);
-  library_.put(*blob);
+  try {
+    const DiskLibrary::PutResult put = library_.put(*blob);
+    if (put == DiskLibrary::PutResult::Upgraded) {
+      metrics.upgrades.add();
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.upgrades;
+    }
+  } catch (const std::exception&) {
+    // Entry could not be persisted (disk full, failpoint): the schedule is
+    // still correct — serve it and let a later put retry. Availability over
+    // durability.
+    metrics.put_failures.add();
+  }
 
   metrics.synth_seconds.observe(seconds_since(start));
   obs::MetricsRegistry::instance().gauge("serve.library_bytes")

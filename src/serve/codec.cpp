@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "serve/canonical.h"
+#include "util/failpoint.h"
 
 namespace syccl::serve {
 
@@ -94,6 +95,7 @@ std::string encode_blob(const ScheduleBlob& blob) {
   payload.i32(blob.num_ranks);
   payload.u64(blob.bucket_bytes);
   payload.f64(blob.predicted_time);
+  payload.u32(blob.degraded ? 1 : 0);
   payload.str(blob.schedule.name);
   payload.u32(static_cast<std::uint32_t>(blob.schedule.pieces.size()));
   for (const sim::Piece& p : blob.schedule.pieces) {
@@ -126,6 +128,7 @@ std::string encode_blob(const ScheduleBlob& blob) {
 }
 
 ScheduleBlob decode_blob(std::string_view data) {
+  util::failpoint("serve.codec.decode");  // error mode: every blob "corrupt"
   if (data.size() < 4 || std::memcmp(data.data(), kMagic, 4) != 0) {
     throw CodecError("bad serve blob magic");
   }
@@ -152,6 +155,7 @@ ScheduleBlob decode_blob(std::string_view data) {
   blob.num_ranks = r.i32();
   blob.bucket_bytes = r.u64();
   blob.predicted_time = r.f64();
+  blob.degraded = r.u32() != 0;
   blob.schedule.name = r.str();
   const std::uint32_t num_pieces = r.u32();
   blob.schedule.pieces.reserve(num_pieces);

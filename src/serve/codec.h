@@ -10,7 +10,7 @@
 // Layout (little-endian, fixed-width):
 //   magic "SYSB" | u32 version | u64 payload size | payload | u64 fnv1a(payload)
 // Payload: scenario key string, rank count, bucket bytes, predicted time,
-// then the schedule (name, pieces, ops). Strings are u32 length + bytes;
+// degraded flag, then the schedule (name, pieces, ops). Strings are u32 length + bytes;
 // vectors are u32 count + elements; doubles are their IEEE-754 bit pattern.
 //
 // Guarantees (pinned by ServeCodec tests):
@@ -47,6 +47,11 @@ struct ScheduleBlob {
   std::uint64_t bucket_bytes = 0;
   /// Simulator-predicted completion time at bucket size (seconds).
   double predicted_time = 0.0;
+  /// True for deadline-fallback schedules synthesized at a minimal budget:
+  /// correct but not competitive. The library never lets a degraded blob
+  /// overwrite a full one, and the broker re-synthesizes in the background
+  /// whenever it serves one (serve/broker.h).
+  bool degraded = false;
   sim::Schedule schedule;
 };
 

@@ -68,9 +68,13 @@ std::string stats_json(const Broker& broker, DiskLibrary& library) {
   std::ostringstream os;
   os << "{\"broker\":{\"requests\":" << b.requests << ",\"hits\":" << b.hits
      << ",\"misses\":" << b.misses << ",\"joins\":" << b.joins << ",\"rejects\":" << b.rejects
-     << ",\"verify_failures\":" << b.verify_failures << "},\"library\":{\"entries\":" << l.entries
+     << ",\"verify_failures\":" << b.verify_failures << ",\"degraded_hits\":" << b.degraded_hits
+     << ",\"upgrades\":" << b.upgrades << "},\"library\":{\"entries\":" << l.entries
      << ",\"bytes\":" << l.bytes << ",\"hits\":" << l.hits << ",\"misses\":" << l.misses
-     << ",\"evictions\":" << l.evictions << ",\"quarantined\":" << l.quarantined << "}}";
+     << ",\"evictions\":" << l.evictions << ",\"quarantined\":" << l.quarantined
+     << ",\"orphans_adopted\":" << l.orphans_adopted
+     << ",\"journal_failures\":" << l.journal_failures
+     << ",\"rejected_downgrades\":" << l.rejected_downgrades << "}}";
   return os.str();
 }
 
@@ -93,7 +97,17 @@ std::string encode_request(const ServeRequest& request, std::string_view format)
   const std::string topology = topo::to_text(request.topology);
   std::ostringstream os;
   os << "REQUEST " << coll::kind_name(request.kind) << ' ' << request.root << ' '
-     << request.total_bytes << ' ' << format << '\n';
+     << request.total_bytes << ' ' << format;
+  if (request.deadline_seconds != 0.0) {
+    // deadline_ms token: explicit 0 = no deadline, overriding any server
+    // default (the encoding of deadline_seconds < 0).
+    const std::uint64_t ms =
+        request.deadline_seconds < 0.0
+            ? 0
+            : static_cast<std::uint64_t>(request.deadline_seconds * 1000.0 + 0.5);
+    os << ' ' << ms;
+  }
+  os << '\n';
   os << "TOPOLOGY " << topology.size() << '\n' << topology;
   return os.str();
 }
@@ -111,15 +125,16 @@ bool read_response(Stream& stream, WireResponse& response) {
     response.error = *payload;
     return true;
   }
-  if (tokens[0] != "OK" || tokens.size() != 5) return false;
+  if (tokens[0] != "OK" || tokens.size() != 6) return false;
   response.hit = tokens[1] == "1";
   response.joined = tokens[2] == "1";
+  response.degraded = tokens[3] == "1";
   try {
-    response.predicted_time = std::stod(tokens[3]);
+    response.predicted_time = std::stod(tokens[4]);
   } catch (const std::exception&) {
     return false;
   }
-  response.scenario_key = tokens[4];
+  response.scenario_key = tokens[5];
 
   if (!stream.read_line(line)) return false;
   tokens = split_tokens(line);
@@ -133,10 +148,11 @@ bool read_response(Stream& stream, WireResponse& response) {
   return true;
 }
 
-int serve_connection(Stream& stream, Broker& broker, DiskLibrary& library) {
+int serve_connection(Stream& stream, Broker& broker, DiskLibrary& library,
+                     const std::atomic<bool>* stop) {
   int handled = 0;
   std::string line;
-  while (stream.read_line(line)) {
+  while (!(stop && stop->load(std::memory_order_relaxed)) && stream.read_line(line)) {
     const std::vector<std::string> tokens = split_tokens(line);
     if (tokens.empty()) continue;  // blank keep-alive line
     const std::string& verb = tokens[0];
@@ -156,9 +172,12 @@ int serve_connection(Stream& stream, Broker& broker, DiskLibrary& library) {
       continue;
     }
 
-    // REQUEST <kind> <root> <total_bytes> <binary|xml>
-    if (tokens.size() != 5) {
-      if (!write_err(stream, "expected 'REQUEST <kind> <root> <bytes> <binary|xml>'")) break;
+    // REQUEST <kind> <root> <total_bytes> <binary|xml> [deadline_ms]
+    if (tokens.size() != 5 && tokens.size() != 6) {
+      if (!write_err(stream,
+                     "expected 'REQUEST <kind> <root> <bytes> <binary|xml> [deadline_ms]'")) {
+        break;
+      }
       continue;
     }
     const std::optional<coll::CollKind> kind = parse_kind(tokens[1]);
@@ -180,6 +199,18 @@ int serve_connection(Stream& stream, Broker& broker, DiskLibrary& library) {
       } else {
         request.root = *root;
         request.total_bytes = *bytes;
+      }
+    }
+    if (error.empty() && tokens.size() == 6) {
+      // Bounded to a day: a fat-fingered deadline must not look like "no
+      // deadline for the next 49 days".
+      const std::optional<std::uint64_t> deadline_ms = util::cli::parse_u64(tokens[5]);
+      if (!deadline_ms || *deadline_ms > 86'400'000) {
+        error = "bad deadline '" + tokens[5] + "'";
+      } else if (*deadline_ms == 0) {
+        request.deadline_seconds = -1.0;  // explicit "no deadline"
+      } else {
+        request.deadline_seconds = static_cast<double>(*deadline_ms) / 1000.0;
       }
     }
 
@@ -216,6 +247,7 @@ int serve_connection(Stream& stream, Broker& broker, DiskLibrary& library) {
         blob.num_ranks = static_cast<std::int32_t>(request.topology.gpus().size());
         blob.bucket_bytes = size_bucket(request.total_bytes);
         blob.predicted_time = response.predicted_time;
+        blob.degraded = response.degraded;
         blob.schedule = response.schedule;
         payload = encode_blob(blob);
       } else {
@@ -224,6 +256,7 @@ int serve_connection(Stream& stream, Broker& broker, DiskLibrary& library) {
       }
       std::ostringstream os;
       os << "OK " << (response.hit ? 1 : 0) << ' ' << (response.joined ? 1 : 0) << ' '
+         << (response.degraded ? 1 : 0) << ' '
          << exact_double_str(response.predicted_time) << ' ' << response.scenario_key << '\n'
          << "SCHEDULE " << format << ' ' << payload.size() << '\n'
          << payload;

@@ -5,15 +5,18 @@
 // Client → server:
 //   PING\n
 //   STATS\n
-//   REQUEST <kind> <root> <total_bytes> <binary|xml>\n
+//   REQUEST <kind> <root> <total_bytes> <binary|xml> [deadline_ms]\n
 //   TOPOLOGY <nbytes>\n<nbytes of topo::to_text format>
 //   QUIT\n
 // A REQUEST line must be followed immediately by its TOPOLOGY payload.
+// The optional deadline_ms bounds the synthesis wait: past it the server
+// answers with a degraded fallback schedule (serve/broker.h). 0 = no
+// deadline even if the server configures a default; absent = the default.
 //
 // Server → client:
 //   PONG\n                                     (PING)
 //   OK <nbytes>\n<json>                        (STATS: broker+library stats)
-//   OK <hit> <joined> <predicted_time> <scenario_key>\n
+//   OK <hit> <joined> <degraded> <predicted_time> <scenario_key>\n
 //   SCHEDULE <binary|xml> <nbytes>\n<nbytes>   (REQUEST; binary = serve
 //                                               codec blob, xml = MSCCL XML)
 //   ERR <nbytes>\n<nbytes of message>          (any failure; the connection
@@ -24,6 +27,7 @@
 // never a desynchronised stream.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -61,6 +65,7 @@ struct WireResponse {
   std::string error;  ///< set when !ok
   bool hit = false;
   bool joined = false;
+  bool degraded = false;  ///< deadline-fallback schedule (see serve/broker.h)
   double predicted_time = 0.0;
   std::string scenario_key;
   std::string format;   ///< "binary" or "xml"
@@ -71,9 +76,12 @@ struct WireResponse {
 /// EOF before a complete response.
 bool read_response(Stream& stream, WireResponse& response);
 
-/// Serves one connection until QUIT or EOF. Every protocol or broker error
-/// is reported as an ERR frame on the stream; only transport failures end
-/// the loop early. Returns the number of REQUEST commands handled.
-int serve_connection(Stream& stream, Broker& broker, DiskLibrary& library);
+/// Serves one connection until QUIT, EOF, or — checked between requests,
+/// never mid-request — `stop` becoming true (graceful drain: the in-flight
+/// request still gets its response). Every protocol or broker error is
+/// reported as an ERR frame on the stream; only transport failures end the
+/// loop early. Returns the number of REQUEST commands handled.
+int serve_connection(Stream& stream, Broker& broker, DiskLibrary& library,
+                     const std::atomic<bool>* stop = nullptr);
 
 }  // namespace syccl::serve

@@ -1,21 +1,34 @@
 #include "serve/socket.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "serve/broker.h"
+#include "util/failpoint.h"
 
 namespace syccl::serve {
 
 namespace {
+
+/// A request line that grows past this without a newline is an attack or a
+/// desynchronised peer, not a command (counted payloads don't go through
+/// read_line).
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+/// SO_RCVTIMEO/SO_SNDTIMEO tick: how often blocked I/O wakes to check the
+/// stop flag and the idle budget.
+constexpr double kTimeoutTickSeconds = 0.2;
 
 sockaddr_un make_addr(const std::string& path) {
   sockaddr_un addr{};
@@ -27,7 +40,43 @@ sockaddr_un make_addr(const std::string& path) {
   return addr;
 }
 
+void set_socket_timeouts(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  // Best-effort: a non-socket fd (tests wrapping a pipe) just stays blocking.
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Evaluates a socket failpoint inside an I/O retry loop. Returns false when
+/// the failpoint says the operation fails (error mode); an EINTR action is
+/// absorbed as one simulated interrupted-syscall retry.
+bool socket_failpoint_ok(const char* name) {
+  try {
+    while (const auto fp = util::failpoint(name)) {
+      if (fp->mode == util::FailpointMode::Eintr) continue;  // storm: re-evaluate
+      break;  // torn/crash budgets are file-I/O notions; ignore on sockets
+    }
+  } catch (const util::FailpointError&) {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+FdStream::FdStream(int fd, FdStreamOptions options) : fd_(fd), options_(options) {
+  if (options_.idle_timeout_seconds > 0.0 || options_.stop != nullptr) {
+    set_socket_timeouts(fd_, options_.idle_timeout_seconds > 0.0
+                                 ? std::min(kTimeoutTickSeconds, options_.idle_timeout_seconds)
+                                 : kTimeoutTickSeconds);
+  }
+}
 
 FdStream::~FdStream() {
   if (fd_ >= 0) ::close(fd_);
@@ -38,14 +87,28 @@ bool FdStream::fill() {
     buffer_.erase(0, pos_);
     pos_ = 0;
   }
+  const auto idle_start = std::chrono::steady_clock::now();
   char chunk[4096];
-  ssize_t n;
-  do {
-    n = ::read(fd_, chunk, sizeof(chunk));
-  } while (n < 0 && errno == EINTR);
-  if (n <= 0) return false;
-  buffer_.append(chunk, static_cast<std::size_t>(n));
-  return true;
+  for (;;) {
+    if (!socket_failpoint_ok("serve.socket.read")) return false;
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Timeout tick, not an error: give up only on drain or idle budget.
+      if (stopped()) return false;
+      if (options_.idle_timeout_seconds > 0.0 &&
+          seconds_since(idle_start) >= options_.idle_timeout_seconds) {
+        return false;
+      }
+      continue;
+    }
+    return false;
+  }
 }
 
 bool FdStream::read_line(std::string& line) {
@@ -56,6 +119,7 @@ bool FdStream::read_line(std::string& line) {
       pos_ = nl + 1;
       return true;
     }
+    if (buffer_.size() - pos_ > kMaxLineBytes) return false;  // bounded lines
     if (!fill()) return false;
   }
 }
@@ -70,11 +134,35 @@ bool FdStream::read_exact(std::string& out, std::size_t n) {
 }
 
 bool FdStream::write_all(std::string_view data) {
+  const auto idle_start = std::chrono::steady_clock::now();
   std::size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+    if (!socket_failpoint_ok("serve.socket.write")) return false;
+    // MSG_NOSIGNAL: a peer that vanished mid-response is an EPIPE on this
+    // connection, never a process-killing SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data.data() + written, data.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == ENOTSOCK) {
+        // Not a socket (tests wrap pipes): plain write, SIGPIPE handled by
+        // the tools ignoring it process-wide.
+        const ssize_t w = ::write(fd_, data.data() + written, data.size() - written);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          return false;
+        }
+        written += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (stopped()) return false;
+        if (options_.idle_timeout_seconds > 0.0 &&
+            seconds_since(idle_start) >= options_.idle_timeout_seconds) {
+          return false;
+        }
+        continue;
+      }
       return false;
     }
     written += static_cast<std::size_t>(n);
@@ -100,29 +188,47 @@ UnixServer::~UnixServer() {
   ::unlink(path_.c_str());
 }
 
-int UnixServer::serve(Broker& broker, DiskLibrary& library, int max_requests) {
+void UnixServer::begin_drain() {
+  // Only async-signal-safe operations: an atomic store and the shutdown(2)
+  // syscall, which wakes the blocked accept() so serve() can wind down.
+  drain_.store(true, std::memory_order_relaxed);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+int UnixServer::serve(Broker& broker, DiskLibrary& library, int max_requests,
+                      double idle_timeout_seconds) {
   std::atomic<int> handled{0};
   std::vector<std::thread> connections;
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener shut down (request budget reached) or fatal error
+      if (errno == EINTR && !draining()) continue;
+      break;  // drain begun, budget reached, or fatal error
     }
-    connections.emplace_back([this, fd, &broker, &library, &handled, max_requests] {
-      FdStream stream(fd);
-      const int n = serve_connection(stream, broker, library);
-      if (max_requests > 0 && handled.fetch_add(n) + n >= max_requests) {
-        // Budget reached: wake the accept loop so serve() can return.
-        ::shutdown(listen_fd_, SHUT_RDWR);
-      }
-    });
+    if (draining()) {
+      ::close(fd);  // raced past shutdown; not serving new connections
+      continue;
+    }
+    connections.emplace_back(
+        [this, fd, &broker, &library, &handled, max_requests, idle_timeout_seconds] {
+          FdStreamOptions options;
+          options.idle_timeout_seconds = idle_timeout_seconds;
+          options.stop = &drain_;
+          FdStream stream(fd, options);
+          const int n = serve_connection(stream, broker, library, &drain_);
+          if (max_requests > 0 && handled.fetch_add(n) + n >= max_requests) {
+            // Budget reached: wake the accept loop so serve() can return.
+            begin_drain();
+          } else if (max_requests <= 0) {
+            handled.fetch_add(n);
+          }
+        });
   }
   for (std::thread& t : connections) t.join();
   return handled.load();
 }
 
-std::unique_ptr<Stream> connect_unix(const std::string& path) {
+std::unique_ptr<Stream> connect_unix(const std::string& path, double timeout_seconds) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw std::runtime_error("socket() failed");
   const sockaddr_un addr = make_addr(path);
@@ -131,7 +237,9 @@ std::unique_ptr<Stream> connect_unix(const std::string& path) {
     ::close(fd);
     throw std::runtime_error("cannot connect to " + path + ": " + err);
   }
-  return std::make_unique<FdStream>(fd);
+  FdStreamOptions options;
+  options.idle_timeout_seconds = timeout_seconds;
+  return std::make_unique<FdStream>(fd, options);
 }
 
 }  // namespace syccl::serve

@@ -1,0 +1,182 @@
+#include "util/failpoint.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace syccl::util {
+
+namespace {
+
+/// Armed state of one failpoint. `eintr_left` decays per evaluation so a
+/// storm ends and the retry loop under test is seen to make progress.
+struct Arm {
+  FailpointAction action;
+  std::uint64_t eintr_left = 0;
+};
+
+std::optional<std::uint64_t> parse_number(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace
+
+struct Failpoints::State {
+  mutable std::mutex mutex;
+  std::map<std::string, Arm> armed;
+  std::map<std::string, std::uint64_t> hit_counts;
+};
+
+Failpoints::Failpoints() : state_(new State) {
+  if (const char* env = std::getenv("SYCCL_FAILPOINTS")) {
+    enable_list(env);
+  }
+}
+
+Failpoints& Failpoints::instance() {
+  static Failpoints* registry = new Failpoints;  // leaked, like State
+  return *registry;
+}
+
+void Failpoints::enable(const std::string& name, const std::string& spec) {
+  if (name.empty()) throw std::invalid_argument("empty failpoint name");
+  if (spec == "off") {
+    disable(name);
+    return;
+  }
+
+  Arm arm;
+  const std::size_t colon = spec.find(':');
+  const std::string mode = spec.substr(0, colon);
+  std::optional<std::uint64_t> arg;
+  if (colon != std::string::npos) {
+    arg = parse_number(spec.substr(colon + 1));
+    if (!arg) throw std::invalid_argument("bad failpoint argument in spec '" + spec + "'");
+  }
+
+  if (mode == "error") {
+    if (arg) throw std::invalid_argument("error takes no argument");
+    arm.action.mode = FailpointMode::Error;
+  } else if (mode == "torn") {
+    if (!arg) throw std::invalid_argument("torn needs a byte count: torn:<N>");
+    arm.action.mode = FailpointMode::TornWrite;
+    arm.action.bytes = *arg;
+  } else if (mode == "eintr") {
+    if (!arg) throw std::invalid_argument("eintr needs a count: eintr:<N>");
+    arm.action.mode = FailpointMode::Eintr;
+    arm.eintr_left = *arg;
+  } else if (mode == "delay") {
+    if (!arg || *arg > 600000) throw std::invalid_argument("delay needs delay:<MS> <= 600000");
+    arm.action.mode = FailpointMode::Delay;
+    arm.action.delay_ms = static_cast<int>(*arg);
+  } else if (mode == "crash") {
+    arm.action.mode = FailpointMode::Crash;
+    arm.action.bytes = arg.value_or(0);
+  } else {
+    throw std::invalid_argument("unknown failpoint mode '" + mode + "'");
+  }
+
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const bool fresh = state_->armed.find(name) == state_->armed.end();
+  state_->armed[name] = arm;
+  if (fresh) armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Failpoints::disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->armed.erase(name) > 0) armed_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Failpoints::clear() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  armed_.fetch_sub(static_cast<int>(state_->armed.size()), std::memory_order_relaxed);
+  state_->armed.clear();
+}
+
+void Failpoints::enable_list(const std::string& list) {
+  std::size_t start = 0;
+  while (start < list.size()) {
+    std::size_t end = list.find(';', start);
+    if (end == std::string::npos) end = list.size();
+    const std::string item = list.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("failpoint list item '" + item + "' is not name=spec");
+    }
+    enable(item.substr(0, eq), item.substr(eq + 1));
+  }
+}
+
+std::uint64_t Failpoints::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const auto it = state_->hit_counts.find(name);
+  return it == state_->hit_counts.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Failpoints::enabled() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::vector<std::string> names;
+  names.reserve(state_->armed.size());
+  for (const auto& [name, arm] : state_->armed) names.push_back(name);
+  return names;
+}
+
+std::optional<FailpointAction> Failpoints::evaluate(const char* name) {
+  if (!any_enabled()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const auto it = state_->armed.find(name);
+  if (it == state_->armed.end()) return std::nullopt;
+  if (it->second.action.mode == FailpointMode::Eintr) {
+    if (it->second.eintr_left == 0) {
+      // Storm exhausted: disarm so the site stops paying for the lookup
+      // (and hits() reflects only attempts that actually saw EINTR).
+      state_->armed.erase(it);
+      armed_.fetch_sub(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    --it->second.eintr_left;
+  }
+  ++state_->hit_counts[name];
+  return it->second.action;
+}
+
+std::optional<FailpointAction> failpoint(const char* name) {
+  auto action = Failpoints::instance().evaluate(name);
+  if (!action) return std::nullopt;
+  switch (action->mode) {
+    case FailpointMode::Error:
+      throw FailpointError(std::string("failpoint '") + name + "' fired");
+    case FailpointMode::Delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(action->delay_ms));
+      return std::nullopt;  // delayed, then proceed normally
+    case FailpointMode::Crash:
+      if (action->bytes == 0) failpoint_crash();
+      return action;
+    case FailpointMode::TornWrite:
+    case FailpointMode::Eintr:
+      return action;
+  }
+  return std::nullopt;
+}
+
+void failpoint_crash() {
+  // _exit, not abort: no unwinding, no atexit, no buffers flushed — the
+  // closest user-space approximation of a kill -9 landing at this line.
+  ::_exit(kFailpointCrashExit);
+}
+
+}  // namespace syccl::util

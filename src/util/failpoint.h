@@ -1,0 +1,104 @@
+// Process-wide registry of named failpoints for fault-injection testing.
+//
+// A failpoint is a named site in production code (I/O boundaries, mostly)
+// that can be armed to misbehave on demand: throw, tear a write after N
+// bytes, storm EINTR, delay, or crash the process outright. Disarmed
+// failpoints cost one relaxed atomic load — the registry is safe to consult
+// on hot paths and compiled into every build, so the exact binary that
+// serves production is the one the chaos suite tortures.
+//
+// Activation:
+//   * programmatic (tests):  util::Failpoints::instance().enable(
+//                                "serve.library.entry_write", "torn:16");
+//   * environment:           SYCCL_FAILPOINTS="a=error;b=delay:50" — parsed
+//                            on first registry use, so tools inherit faults
+//                            without code changes;
+//   * CLI:                   syccl_serve --failpoint name=spec (repeatable).
+//
+// Spec grammar (one mode per failpoint):
+//   error        fire std::runtime_error-derived FailpointError at the site
+//   torn:<N>     write sites persist exactly N bytes, then fail
+//   eintr:<N>    the next N syscall attempts at the site see EINTR
+//   delay:<MS>   sleep MS milliseconds, then proceed normally
+//   crash        _exit(kFailpointCrashExit) at the site
+//   crash:<N>    write sites persist N bytes, then _exit — a kill -9 landing
+//                mid-write, reproducibly
+//   off          disarm
+//
+// Sites consult the registry through `failpoint(name)`: Error throws and
+// Delay sleeps right there; Crash with no byte budget exits right there;
+// TornWrite, Eintr, and budgeted Crash return the action because only the
+// call site knows how to tear its own write or fake its own EINTR.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace syccl::util {
+
+/// What an armed failpoint site throws in `error` mode.
+class FailpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Exit code of `crash`-mode failpoints (and nothing else), so tests can
+/// assert the simulated crash — not some real bug — killed the child.
+inline constexpr int kFailpointCrashExit = 42;
+
+enum class FailpointMode { Error, TornWrite, Eintr, Delay, Crash };
+
+struct FailpointAction {
+  FailpointMode mode = FailpointMode::Error;
+  /// TornWrite / budgeted Crash: bytes to persist before the fault fires.
+  std::uint64_t bytes = 0;
+  /// Delay: milliseconds to sleep.
+  int delay_ms = 0;
+};
+
+class Failpoints {
+ public:
+  /// The process-wide registry. First call parses $SYCCL_FAILPOINTS.
+  static Failpoints& instance();
+
+  /// Arms `name` with `spec` (grammar above; "off" disarms). Throws
+  /// std::invalid_argument on an unparseable spec.
+  void enable(const std::string& name, const std::string& spec);
+  void disable(const std::string& name);
+  /// Disarms everything (test teardown).
+  void clear();
+  /// Parses "name=spec;name=spec" lists ($SYCCL_FAILPOINTS / --failpoint).
+  void enable_list(const std::string& list);
+
+  /// Times `name` actually fired (armed evaluations; 0 if never/unknown).
+  std::uint64_t hits(const std::string& name) const;
+  std::vector<std::string> enabled() const;
+  bool any_enabled() const { return armed_.load(std::memory_order_relaxed) > 0; }
+
+  /// Site-side gate; prefer the free function `failpoint(name)`.
+  /// Returns the action when `name` is armed (after counting the hit and
+  /// decrementing an Eintr budget), nullopt otherwise.
+  std::optional<FailpointAction> evaluate(const char* name);
+
+ private:
+  Failpoints();
+
+  struct State;
+  State* state_;  ///< leaked: sites may fire during static destruction
+  std::atomic<int> armed_{0};
+};
+
+/// Evaluates failpoint `name` and applies what can be applied centrally:
+/// Error throws FailpointError, Delay sleeps, bare Crash _exit()s. Returns
+/// the action for TornWrite / Eintr / budgeted Crash (the site applies it),
+/// nullopt when disarmed. One relaxed load when nothing is armed.
+std::optional<FailpointAction> failpoint(const char* name);
+
+/// _exit(kFailpointCrashExit) — the terminal half of a budgeted crash.
+[[noreturn]] void failpoint_crash();
+
+}  // namespace syccl::util

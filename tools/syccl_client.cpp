@@ -5,21 +5,36 @@
 //   syccl_client --socket s.sock --topo-file cluster.topo --coll allreduce
 //                --bytes 1G --format xml --out sched.xml   (one command line)
 //   syccl_client --socket s.sock --stats
+//   syccl_client --socket s.sock --topo dgx16 --coll allgather
+//                --deadline-ms 200 --timeout 30 --retries 3   (one command line)
 //
 // The topology is either a named scenario (--topo, obs/scenario.h names) or
-// a topo::from_text file produced by inventory tooling (--topo-file). The
-// returned schedule is written to --out as a serve codec blob (binary) or
-// MSCCL-style XML.
+// a topo::from_text file produced by inventory tooling (--topo-file);
+// --permute-seed relabels its GPU ranks by a seeded shuffle (isomorphic
+// topology, different labelling — smoke tests use it to prove the
+// symmetry-keyed cache). The returned schedule is written to --out as a
+// serve codec blob (binary) or MSCCL-style XML.
+//
+// --timeout bounds each socket read/write; --retries re-runs the whole
+// attempt (reconnect included) with exponential backoff on transport
+// failures — a server ERR response is an answer, not a failure, and is
+// never retried.
 #include <cctype>
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <numeric>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "obs/scenario.h"
 #include "serve/protocol.h"
 #include "serve/socket.h"
+#include "topo/mutate.h"
 #include "topo/serialize.h"
 #include "util/cli.h"
 
@@ -34,6 +49,10 @@ struct Args {
   int root = 0;
   std::string format = "binary";
   std::string out_path;
+  double timeout_seconds = 0.0;  ///< per-socket-op bound (0 = block forever)
+  int retries = 0;               ///< transport-failure retries beyond the first attempt
+  int deadline_ms = -1;          ///< -1 = absent (server default); 0 = explicitly none
+  std::optional<std::uint64_t> permute_seed;
   bool ping = false;
   bool stats = false;
 };
@@ -41,7 +60,9 @@ struct Args {
 void print_usage() {
   std::cerr << "usage: syccl_client [--socket PATH] (--topo NAME | --topo-file FILE)\n"
             << "                    [--coll NAME] [--bytes N[K|M|G]] [--root R]\n"
-            << "                    [--format binary|xml] [--out FILE] [--ping] [--stats]\n"
+            << "                    [--format binary|xml] [--out FILE] [--deadline-ms N]\n"
+            << "                    [--timeout SECONDS] [--retries N] [--permute-seed N]\n"
+            << "                    [--ping] [--stats]\n"
             << "collectives: allreduce allgather reducescatter alltoall broadcast "
                "scatter gather reduce\n";
 }
@@ -120,6 +141,42 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = need_value();
       if (!v) return false;
       args.out_path = v;
+    } else if (a == "--timeout") {
+      const char* v = need_value();
+      if (!v) return false;
+      const auto n = cli::parse_int(v, 0, 86'400);
+      if (!n) {
+        std::cerr << "bad value for --timeout: '" << v << "'\n";
+        return false;
+      }
+      args.timeout_seconds = static_cast<double>(*n);
+    } else if (a == "--retries") {
+      const char* v = need_value();
+      if (!v) return false;
+      const auto n = cli::parse_int(v, 0, 100);
+      if (!n) {
+        std::cerr << "bad value for --retries: '" << v << "'\n";
+        return false;
+      }
+      args.retries = *n;
+    } else if (a == "--deadline-ms") {
+      const char* v = need_value();
+      if (!v) return false;
+      const auto n = cli::parse_int(v, 0, 86'400'000);
+      if (!n) {
+        std::cerr << "bad value for --deadline-ms: '" << v << "'\n";
+        return false;
+      }
+      args.deadline_ms = *n;
+    } else if (a == "--permute-seed") {
+      const char* v = need_value();
+      if (!v) return false;
+      const auto n = cli::parse_u64(v);
+      if (!n) {
+        std::cerr << "bad value for --permute-seed: '" << v << "'\n";
+        return false;
+      }
+      args.permute_seed = *n;
     } else if (a == "--ping") {
       args.ping = true;
     } else if (a == "--stats") {
@@ -132,6 +189,29 @@ bool parse_args(int argc, char** argv, Args& args) {
   return true;
 }
 
+/// One full request attempt: connect, send, read the response. Returns false
+/// on transport failure (retryable); a server ERR is returned as success
+/// with response.ok == false (not retryable — the server answered).
+bool attempt_request(const Args& args, const syccl::serve::ServeRequest& request,
+                     syccl::serve::WireResponse& response, std::string& failure) {
+  std::unique_ptr<syccl::serve::Stream> stream;
+  try {
+    stream = syccl::serve::connect_unix(args.socket_path, args.timeout_seconds);
+  } catch (const std::exception& e) {
+    failure = e.what();
+    return false;
+  }
+  if (!stream->write_all(syccl::serve::encode_request(request, args.format))) {
+    failure = "cannot send request";
+    return false;
+  }
+  if (!syccl::serve::read_response(*stream, response)) {
+    failure = "connection closed mid-response";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,6 +220,9 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
+  // A server that dies mid-request surfaces as a write error (and a retry),
+  // not a SIGPIPE kill.
+  std::signal(SIGPIPE, SIG_IGN);
 
   try {
     // Validate the request before touching the socket, so usage errors are
@@ -159,18 +242,17 @@ int main(int argc, char** argv) {
       }
     }
 
-    auto stream = syccl::serve::connect_unix(args.socket_path);
-
-    if (args.ping) {
-      std::string line;
-      if (!stream->write_all("PING\n") || !stream->read_line(line) || line != "PONG") {
-        std::cerr << "syccl_client: no PONG from " << args.socket_path << "\n";
-        return 1;
+    if (args.ping || args.stats) {
+      auto stream = syccl::serve::connect_unix(args.socket_path, args.timeout_seconds);
+      if (args.ping) {
+        std::string line;
+        if (!stream->write_all("PING\n") || !stream->read_line(line) || line != "PONG") {
+          std::cerr << "syccl_client: no PONG from " << args.socket_path << "\n";
+          return 1;
+        }
+        std::cout << "PONG\n";
+        return 0;
       }
-      std::cout << "PONG\n";
-      return 0;
-    }
-    if (args.stats) {
       std::string line;
       if (!stream->write_all("STATS\n") || !stream->read_line(line)) {
         std::cerr << "syccl_client: no stats response\n";
@@ -192,6 +274,11 @@ int main(int argc, char** argv) {
     request.kind = *kind;
     request.root = args.root;
     request.total_bytes = args.bytes;
+    if (args.deadline_ms == 0) {
+      request.deadline_seconds = -1.0;  // explicit "no deadline"
+    } else if (args.deadline_ms > 0) {
+      request.deadline_seconds = static_cast<double>(args.deadline_ms) / 1000.0;
+    }
     if (!args.topo_file.empty()) {
       std::ifstream in(args.topo_file);
       if (!in) {
@@ -204,14 +291,38 @@ int main(int argc, char** argv) {
     } else {
       request.topology = syccl::obs::build_scenario_topology(args.topo_name);
     }
-
-    if (!stream->write_all(syccl::serve::encode_request(request, args.format))) {
-      std::cerr << "syccl_client: cannot send request\n";
-      return 1;
+    if (args.permute_seed) {
+      // Seeded rank relabelling: same seed, same permutation — a restarted
+      // smoke test can re-request "the same cluster, labelled differently".
+      std::vector<int> perm(request.topology.gpus().size());
+      std::iota(perm.begin(), perm.end(), 0);
+      std::mt19937_64 rng(*args.permute_seed);
+      std::shuffle(perm.begin(), perm.end(), rng);
+      request.topology = syccl::topo::permute_gpu_ranks(request.topology, perm);
+      if (args.root >= 0 && static_cast<std::size_t>(args.root) < perm.size()) {
+        request.root = perm[static_cast<std::size_t>(args.root)];
+      }
     }
+
     syccl::serve::WireResponse response;
-    if (!syccl::serve::read_response(*stream, response)) {
-      std::cerr << "syccl_client: connection closed mid-response\n";
+    std::string failure;
+    bool transported = false;
+    for (int attempt = 0; attempt <= args.retries; ++attempt) {
+      if (attempt > 0) {
+        // Exponential backoff, capped: 100ms, 200ms, 400ms, ... ≤ 5s.
+        const auto delay = std::min(std::chrono::milliseconds(100) * (1 << (attempt - 1)),
+                                    std::chrono::milliseconds(5000));
+        std::cerr << "syccl_client: " << failure << "; retry " << attempt << "/"
+                  << args.retries << " in " << delay.count() << "ms\n";
+        std::this_thread::sleep_for(delay);
+      }
+      if (attempt_request(args, request, response, failure)) {
+        transported = true;
+        break;
+      }
+    }
+    if (!transported) {
+      std::cerr << "syccl_client: " << failure << "\n";
       return 1;
     }
     if (!response.ok) {
@@ -220,7 +331,8 @@ int main(int argc, char** argv) {
     }
 
     std::cout << "syccl_client: " << (response.hit ? "hit" : "miss")
-              << (response.joined ? " (joined in-flight synthesis)" : "") << ", predicted "
+              << (response.joined ? " (joined in-flight synthesis)" : "")
+              << (response.degraded ? " (degraded: deadline fallback)" : "") << ", predicted "
               << response.predicted_time * 1e6 << " us\n"
               << "  key: " << response.scenario_key << "\n"
               << "  schedule: " << response.payload.size() << " bytes (" << response.format

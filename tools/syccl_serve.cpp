@@ -4,12 +4,19 @@
 //
 //   syccl_serve --socket /tmp/syccl.sock --library /var/lib/syccl
 //   syccl_serve --socket s.sock --library lib --max-requests 8   # drain & exit
+//   syccl_serve --socket s.sock --library lib --deadline-ms 500  # degrade past 500ms
 //   syccl_serve --selfcheck --library /tmp/lib                   # no socket
+//
+// SIGTERM/SIGINT start a graceful drain: stop accepting, finish in-flight
+// requests, flush the library index, exit 0. SIGPIPE is ignored (a vanished
+// client is that connection's problem). --failpoint injects named faults
+// (util/failpoint.h; also via $SYCCL_FAILPOINTS) for chaos testing.
 //
 // --selfcheck runs the full pipeline in-process — synthesize a small
 // scenario, re-request it under a permuted rank labelling, require a library
 // hit — and exits non-zero on any mismatch. It is the deployment smoke test
 // (and the ctest smoke).
+#include <csignal>
 #include <cstdint>
 #include <iostream>
 #include <optional>
@@ -21,6 +28,7 @@
 #include "serve/socket.h"
 #include "topo/mutate.h"
 #include "util/cli.h"
+#include "util/failpoint.h"
 
 namespace {
 
@@ -30,12 +38,16 @@ struct Args {
   std::uint64_t max_library_bytes = 256ull << 20;
   int max_requests = -1;  ///< <= 0: serve forever
   int threads = 0;
+  double deadline_seconds = 0.0;      ///< default synthesis deadline (0 = none)
+  double idle_timeout_seconds = 60.0;  ///< per-connection idle bound (0 = none)
   bool selfcheck = false;
 };
 
 void print_usage() {
   std::cerr << "usage: syccl_serve [--socket PATH] [--library DIR] [--max-bytes N[K|M|G]]\n"
-            << "                   [--max-requests N] [--threads N] [--selfcheck]\n";
+            << "                   [--max-requests N] [--threads N] [--deadline-ms N]\n"
+            << "                   [--idle-timeout SECONDS] [--failpoint NAME=SPEC[;...]]\n"
+            << "                   [--selfcheck]\n";
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -84,6 +96,33 @@ bool parse_args(int argc, char** argv, Args& args) {
         return false;
       }
       args.threads = *n;
+    } else if (a == "--deadline-ms") {
+      const char* v = need_value();
+      if (!v) return false;
+      const auto n = cli::parse_int(v, 0, 86'400'000);
+      if (!n) {
+        std::cerr << "bad value for --deadline-ms: '" << v << "'\n";
+        return false;
+      }
+      args.deadline_seconds = static_cast<double>(*n) / 1000.0;
+    } else if (a == "--idle-timeout") {
+      const char* v = need_value();
+      if (!v) return false;
+      const auto n = cli::parse_int(v, 0, 86'400);
+      if (!n) {
+        std::cerr << "bad value for --idle-timeout: '" << v << "'\n";
+        return false;
+      }
+      args.idle_timeout_seconds = static_cast<double>(*n);
+    } else if (a == "--failpoint") {
+      const char* v = need_value();
+      if (!v) return false;
+      try {
+        syccl::util::Failpoints::instance().enable_list(v);
+      } catch (const std::exception& e) {
+        std::cerr << "bad value for --failpoint: " << e.what() << "\n";
+        return false;
+      }
     } else if (a == "--selfcheck") {
       args.selfcheck = true;
     } else {
@@ -132,6 +171,14 @@ int selfcheck(syccl::serve::Broker& broker) {
   return 0;
 }
 
+/// Set by main once the server exists; the handler body is async-signal-safe
+/// (an atomic store plus shutdown(2) inside begin_drain).
+syccl::serve::UnixServer* g_server = nullptr;
+
+void handle_drain_signal(int) {
+  if (g_server != nullptr) g_server->begin_drain();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,24 +187,43 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
+  // A client that disconnects mid-response must not kill the process; send
+  // paths also pass MSG_NOSIGNAL, this covers any non-socket writes.
+  std::signal(SIGPIPE, SIG_IGN);
 
   try {
     syccl::serve::DiskLibrary library({args.library_dir, args.max_library_bytes});
     syccl::serve::BrokerConfig config;
     config.num_threads = args.threads;
+    config.default_deadline_seconds = args.deadline_seconds;
     syccl::serve::Broker broker(library, config);
     const auto stats = library.stats();
     std::cout << "syccl_serve: library " << args.library_dir << " (" << stats.entries
               << " entries, " << stats.bytes << " bytes";
     if (stats.quarantined > 0) std::cout << ", " << stats.quarantined << " quarantined";
+    if (stats.orphans_adopted > 0) std::cout << ", " << stats.orphans_adopted << " adopted";
     std::cout << ")\n";
 
     if (args.selfcheck) return selfcheck(broker);
 
     syccl::serve::UnixServer server(args.socket_path);
+    g_server = &server;
+    struct sigaction sa{};
+    sa.sa_handler = handle_drain_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
     std::cout << "syccl_serve: listening on " << args.socket_path << std::endl;
-    const int handled = server.serve(broker, library, args.max_requests);
-    std::cout << "syccl_serve: exiting after " << handled << " requests\n";
+    const int handled =
+        server.serve(broker, library, args.max_requests, args.idle_timeout_seconds);
+    g_server = nullptr;
+    // Drain epilogue: fold the journal into a fresh snapshot so the next
+    // open replays nothing.
+    if (!library.flush()) {
+      std::cerr << "syccl_serve: warning: final index flush failed\n";
+    }
+    std::cout << "syccl_serve: exiting after " << handled << " requests"
+              << (server.draining() ? " (drained)" : "") << "\n";
   } catch (const std::exception& e) {
     std::cerr << "syccl_serve: " << e.what() << "\n";
     return 1;
